@@ -1,0 +1,133 @@
+// Ablation A7 — the internal Delay-Code policy chasing a moving rail.
+//
+// Sec. III-B's "policy not reported for sake of brevity", made concrete: a
+// saturating stepper with hysteresis (core/auto_range). The rail ramps from
+// 1.20 V down to 0.80 V; the controller must keep the reading in-range by
+// walking the code, and must not hunt on a noisy-but-stationary rail.
+#include "bench/bench_util.h"
+#include "calib/fit.h"
+#include "stats/rng.h"
+#include "core/auto_range.h"
+#include "core/measurement_log.h"
+#include "core/thermometer.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+void report() {
+  bench::section("A7 — auto-range policy tracking a 1.20 → 0.80 V ramp");
+  const auto& model = calib::calibrated().model;
+
+  // 400 mV ramp over 2 us.
+  analog::CallbackRail vdd{[](Picoseconds t) {
+    const double frac = std::clamp(t.value() / 2.0e6, 0.0, 1.0);
+    return Volt{1.20 - 0.40 * frac};
+  }};
+
+  auto run_policy = [&](bool adaptive) {
+    auto thermometer = calib::make_paper_thermometer(model);
+    core::AutoRangeController ctrl;
+    core::DelayCode code{3};
+    std::size_t in_range = 0, total = 0, code_changes = 0;
+    double t = 0.0;
+    while (t < 2.0e6) {
+      const auto m = thermometer.measure_vdd(analog::RailPair{&vdd, nullptr},
+                                             Picoseconds{t}, code);
+      ++total;
+      if (m.bin.in_range()) ++in_range;
+      if (adaptive) {
+        const auto next = ctrl.observe(thermometer.encode(m.word),
+                                       m.word.width());
+        if (next != code) ++code_changes;
+        code = next;
+      }
+      t += 25000.0;  // one measure every 25 ns
+    }
+    return std::tuple{in_range, total, code_changes, code};
+  };
+
+  const auto [fixed_in, fixed_total, fixed_changes, fixed_code] =
+      run_policy(false);
+  const auto [auto_in, auto_total, auto_changes, auto_code] =
+      run_policy(true);
+
+  util::CsvTable table({"policy", "measures", "in_range", "in_range_pct",
+                        "code_changes", "final_code"});
+  table.new_row()
+      .add("fixed code 011")
+      .add(static_cast<long long>(fixed_total))
+      .add(static_cast<long long>(fixed_in))
+      .add(100.0 * static_cast<double>(fixed_in) /
+               static_cast<double>(fixed_total),
+           4)
+      .add(static_cast<long long>(fixed_changes))
+      .add(core::DelayCode{fixed_code}.to_string());
+  table.new_row()
+      .add("auto-range")
+      .add(static_cast<long long>(auto_total))
+      .add(static_cast<long long>(auto_in))
+      .add(100.0 * static_cast<double>(auto_in) /
+               static_cast<double>(auto_total),
+           4)
+      .add(static_cast<long long>(auto_changes))
+      .add(core::DelayCode{auto_code}.to_string());
+  bench::print_table(table);
+  bench::note("the adaptive policy covers the full 400 mV excursion that no "
+              "single code window (~230 mV) can");
+
+  // Stability check: stationary noisy rail must not cause hunting.
+  stats::Xoshiro256 rng(5);
+  analog::CallbackRail noisy{[&rng](Picoseconds) {
+    return Volt{0.95 + rng.normal(0.0, 0.008)};
+  }};
+  auto thermometer = calib::make_paper_thermometer(model);
+  core::AutoRangeController ctrl;
+  core::DelayCode code{3};
+  std::size_t changes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto m = thermometer.measure_vdd(analog::RailPair{&noisy, nullptr},
+                                           Picoseconds{i * 25000.0}, code);
+    const auto next = ctrl.observe(thermometer.encode(m.word),
+                                   m.word.width());
+    if (next != code) ++changes;
+    code = next;
+  }
+  bench::note("hunting check on a stationary rail (sigma 8 mV): " +
+              std::to_string(changes) + " code changes in 200 measures");
+}
+
+void BM_AutoRangeObserve(benchmark::State& state) {
+  core::AutoRangeController ctrl;
+  const core::Encoder enc;
+  std::size_t ones = 0;
+  for (auto _ : state) {
+    ones = (ones + 1) % 8;
+    benchmark::DoNotOptimize(
+        ctrl.observe(enc.encode(core::ThermoWord::of_count(ones, 7)), 7));
+  }
+}
+BENCHMARK(BM_AutoRangeObserve);
+
+void BM_ClosedLoopMeasureAndAdapt(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  auto thermometer = calib::make_paper_thermometer(model);
+  analog::ConstantRail vdd{1.0_V};
+  core::AutoRangeController ctrl;
+  core::DelayCode code{3};
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 25000.0;
+    const auto m = thermometer.measure_vdd(analog::RailPair{&vdd, nullptr},
+                                           Picoseconds{t}, code);
+    code = ctrl.observe(thermometer.encode(m.word), m.word.width());
+    benchmark::DoNotOptimize(code);
+  }
+}
+BENCHMARK(BM_ClosedLoopMeasureAndAdapt)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

@@ -1,0 +1,90 @@
+// Ablation A11 — converter linearity of the thermometer (INL/DNL/yield).
+//
+// Flash-ADC metrology applied to the sensor: per-step DNL of the paper's
+// (deliberately non-uniform) ladder, the uniform-ladder alternative, and the
+// Monte-Carlo mismatch yield a datasheet would quote.
+#include "bench/bench_util.h"
+#include "calib/fit.h"
+#include "core/linearity.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+void report() {
+  const auto& model = calib::calibrated().model;
+  const core::PulseGenerator pg{model.pg_config()};
+  const auto paper_array = calib::make_paper_array(model);
+
+  bench::section("A11 — DNL/INL of the paper ladder (code 011)");
+  const auto rep = core::analyze_linearity(paper_array, pg,
+                                           core::DelayCode{3});
+  util::CsvTable table({"step", "dnl_lsb", "inl_at_edge_lsb"});
+  for (std::size_t i = 0; i < rep.dnl_lsb.size(); ++i) {
+    table.new_row()
+        .add(static_cast<long long>(i + 1))
+        .add(rep.dnl_lsb[i], 4)
+        .add(rep.inl_lsb[i + 1], 4);
+  }
+  bench::print_table(table);
+  bench::note("ideal LSB = " + std::to_string(rep.lsb_ideal_mv) +
+              " mV; max |DNL| = " + std::to_string(rep.max_abs_dnl) +
+              " LSB (the paper's quoted ladder is bottom-heavy), max |INL| = " +
+              std::to_string(rep.max_abs_inl) + " LSB");
+
+  bench::section("A11 — Monte-Carlo mismatch yield (code 011)");
+  util::CsvTable mc_table({"sigma_drive_pct", "sigma_vth_mV", "trials",
+                           "mean_maxDNL_lsb", "p95_maxDNL_lsb",
+                           "yield_halfLSB_pct"});
+  for (const auto& [sd, sv] : std::vector<std::pair<double, double>>{
+           {0.01, 2.5}, {0.02, 5.0}, {0.04, 10.0}}) {
+    analog::MismatchParams mm;
+    mm.sigma_drive = sd;
+    mm.sigma_vth = Volt{sv * 1e-3};
+    const auto mc = core::monte_carlo_linearity(
+        model.inverter, model.flipflop, model.array_loads, pg,
+        core::DelayCode{3}, 300, 2026, mm);
+    mc_table.new_row()
+        .add(sd * 100.0, 3)
+        .add(sv, 3)
+        .add(static_cast<long long>(mc.trials))
+        .add(mc.mean_max_abs_dnl, 4)
+        .add(mc.p95_max_abs_dnl, 4)
+        .add(mc.yield_half_lsb * 100.0, 4);
+  }
+  bench::print_table(mc_table);
+  bench::note("within-die mismatch adds to the intrinsic ladder DNL; the "
+              "half-LSB yield column is the 'no-missing-codes' analogue and "
+              "motivates the paper's per-die fine tuning");
+}
+
+void BM_AnalyzeLinearity(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  const core::PulseGenerator pg{model.pg_config()};
+  const auto array = calib::make_paper_array(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::analyze_linearity(array, pg, core::DelayCode{3}));
+  }
+}
+BENCHMARK(BM_AnalyzeLinearity)->Unit(benchmark::kMicrosecond);
+
+void BM_MonteCarloLinearity(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  const core::PulseGenerator pg{model.pg_config()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::monte_carlo_linearity(
+        model.inverter, model.flipflop, model.array_loads, pg,
+        core::DelayCode{3}, static_cast<std::size_t>(state.range(0)), 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MonteCarloLinearity)->Arg(10)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

@@ -1,0 +1,97 @@
+// Ablation A6 — metastability exposure of the sensor flip-flops.
+//
+// A thermometer's LSB boundary is, by construction, a metastable boundary:
+// the cell whose threshold the rail is crossing samples with near-zero
+// margin. The architecture is safe because the FF output is consumed a full
+// control cycle later, through the ENC path — leaving ~1 ns of regeneration
+// time. This bench quantifies that argument: unresolved-sample probability
+// and MTBF vs available resolve time, closed form vs Monte-Carlo.
+#include "bench/bench_util.h"
+#include "analog/mtbf.h"
+#include "calib/fit.h"
+#include "sta/control_netlist.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+void report() {
+  bench::section("A6 — metastability MTBF vs resolve time");
+  const auto& ff = calib::calibrated().model.flipflop;
+
+  // Resolve time actually available in the architecture: control period
+  // minus the ENC/compare path the STA reports.
+  const double control_period_ps = 1250.0;
+  const double enc_path_ps =
+      sta::control_critical_path(analog::default_90nm_library())
+          .arrival.value() -
+      110.0;  // minus launch clk-to-q, already part of the flop's own budget
+  const double available_ps = control_period_ps - enc_path_ps +
+                              control_period_ps;  // word consumed a cycle later
+
+  analog::MtbfParams params;
+  params.measure_rate_hz = 1e6;  // one measure per microsecond
+  params.edge_jitter_window = 50.0_ps;
+
+  util::CsvTable table({"resolve_time_ps", "p_unresolved", "monte_carlo",
+                        "mtbf_seconds", "mtbf_readable"});
+  auto readable = [](double s) -> std::string {
+    if (s >= 1e30) return "effectively infinite";
+    if (s > 3.15e10) return std::to_string(s / 3.15e7) + " years";
+    if (s > 3.15e7) return std::to_string(s / 3.15e7) + " years";
+    if (s > 3600.0) return std::to_string(s / 3600.0) + " hours";
+    return std::to_string(s) + " s";
+  };
+  for (double t : {10.0, 20.0, 40.0, 80.0, 160.0, 320.0}) {
+    params.resolve_time = Picoseconds{t};
+    const double p = analog::unresolved_probability(ff, params);
+    const double mc = analog::monte_carlo_unresolved_fraction(
+        ff, params, 200000, 2026);
+    const double mtbf = analog::mtbf_seconds(ff, params);
+    table.new_row()
+        .add(t, 4)
+        .add(p, 4)
+        .add(mc, 4)
+        .add(mtbf, 4)
+        .add(readable(mtbf));
+  }
+  bench::print_table(table);
+
+  params.resolve_time = Picoseconds{available_ps};
+  bench::note("architecture's available resolve time ≈ " +
+              std::to_string(available_ps) + " ps → MTBF " +
+              readable(analog::mtbf_seconds(ff, params)));
+  const auto needed =
+      analog::resolve_time_for_mtbf(ff, params, 10.0 * 3.15e7);
+  bench::note("resolve time needed for a 10-year MTBF at 1 M measures/s: " +
+              std::to_string(needed.value()) + " ps");
+}
+
+void BM_UnresolvedProbability(benchmark::State& state) {
+  const auto& ff = calib::calibrated().model.flipflop;
+  analog::MtbfParams params;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analog::unresolved_probability(ff, params));
+  }
+}
+BENCHMARK(BM_UnresolvedProbability);
+
+void BM_MonteCarloMtbf(benchmark::State& state) {
+  const auto& ff = calib::calibrated().model.flipflop;
+  analog::MtbfParams params;
+  params.resolve_time = 12.0_ps;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analog::monte_carlo_unresolved_fraction(
+        ff, params, static_cast<std::size_t>(state.range(0)), 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MonteCarloMtbf)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

@@ -1,0 +1,86 @@
+// Fig. 2 reproduction: single-cell sense detail.
+//
+// Paper: "Signal DS linearly increases as a linear decrease of VDD-n is
+// forced... OUT delay increases in a not linear way as the FF is in its
+// metastability state and, in the last case (4) a fail occurs."
+//
+// We sweep four equally spaced VDD-n values straddling the C=2pF cell's
+// threshold (0.9360 V at code 011) and report DS delay (linear), the OUT
+// clk-to-q (log-law growth), the setup margin and the sample verdict.
+#include "bench/bench_util.h"
+#include "calib/fit.h"
+#include "core/sensor_cell.h"
+#include "stats/regression.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+core::SensorCell fig2_cell() {
+  const auto& model = calib::calibrated().model;
+  return core::SensorCell{model.inverter, model.flipflop,
+                          calib::paper_anchors().fig4_load};
+}
+
+void report() {
+  bench::section("Fig. 2 — noise sensor detail (C = 2 pF, delay code 011)");
+  const auto& model = calib::calibrated().model;
+  const auto cell = fig2_cell();
+  const Picoseconds skew = model.skew(core::DelayCode{3});
+
+  // Cases 1..4 with "linear distance", case 4 just below the threshold.
+  const double vdd_cases[4] = {1.000, 0.978, 0.956, 0.934};
+
+  util::CsvTable table({"case", "vdd_n_V", "ds_delay_ps", "setup_margin_ps",
+                        "out_clk2q_ps", "ff_region", "out_sample"});
+  std::vector<double> volts, delays;
+  for (int i = 0; i < 4; ++i) {
+    const Volt v{vdd_cases[i]};
+    const auto s = cell.sense(v, skew);
+    table.new_row()
+        .add(static_cast<long long>(i + 1))
+        .add(v.value(), 4)
+        .add(s.ds_arrival.value(), 5)
+        .add(s.ff.setup_margin.value(), 4)
+        .add(s.ff.clk_to_q.value(), 5)
+        .add(std::string(analog::to_string(s.ff.region)))
+        .add(std::string(s.correct ? "correct" : "WRONG"));
+    volts.push_back(v.value());
+    delays.push_back(s.ds_arrival.value());
+  }
+  bench::print_table(table);
+
+  const auto fit = stats::fit_line(volts, delays);
+  bench::note("DS-delay linearity over the cases: R^2 = " +
+              std::to_string(fit.r_squared) + ", slope = " +
+              std::to_string(fit.slope) + " ps/V (paper: 'DS linearly " +
+              "increases as a linear decrease of VDD-n is forced')");
+  bench::note("paper shape check: cases 1-3 correct with growing OUT delay, "
+              "case 4 fails");
+}
+
+void BM_SingleCellSense(benchmark::State& state) {
+  const auto cell = fig2_cell();
+  const Picoseconds skew = calib::calibrated().model.skew(core::DelayCode{3});
+  double v = 0.90;
+  for (auto _ : state) {
+    v = v >= 1.10 ? 0.90 : v + 0.001;
+    benchmark::DoNotOptimize(cell.sense(Volt{v}, skew));
+  }
+}
+BENCHMARK(BM_SingleCellSense);
+
+void BM_SingleCellThreshold(benchmark::State& state) {
+  const auto cell = fig2_cell();
+  const Picoseconds skew = calib::calibrated().model.skew(core::DelayCode{3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cell.threshold(skew));
+  }
+}
+BENCHMARK(BM_SingleCellThreshold);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

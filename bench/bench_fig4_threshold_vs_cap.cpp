@@ -1,0 +1,88 @@
+// Fig. 4 reproduction: cell failure threshold vs DS load capacitance.
+//
+// Paper: "the VDD-n value below which the FF fails as a function of the
+// capacitance C. For example, if C=2pF... the VDD-n value below which the FF
+// fails is 0.9360V. Note that, the characteristic has a linear behavior
+// within the VDD-n range of interest (0.9V - 1.1V in this example)."
+#include "bench/bench_util.h"
+#include "calib/fit.h"
+#include "core/sensor_cell.h"
+#include "stats/regression.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+void report() {
+  bench::section("Fig. 4 — threshold VDD-n vs DS load (delay code 011)");
+  const auto& model = calib::calibrated().model;
+  const Picoseconds skew = model.skew(core::DelayCode{3});
+
+  util::CsvTable table({"c_load_pF", "threshold_V", "note"});
+  for (double c = 0.5; c <= 4.0 + 1e-9; c += 0.25) {
+    const core::SensorCell cell{model.inverter, model.flipflop, Picofarad{c}};
+    const auto thr = cell.threshold(skew);
+    std::string annotation;
+    if (std::fabs(c - 2.0) < 1e-9) annotation = "paper anchor: 0.9360 V";
+    table.new_row()
+        .add(c, 3)
+        .add(thr ? thr->value() : -1.0, 5)
+        .add(annotation);
+  }
+  bench::print_table(table);
+
+  // Linearity is judged on a fine sweep restricted to the paper's window of
+  // interest (0.9–1.1 V).
+  std::vector<double> caps_in_window, thr_in_window;
+  for (double c = 1.5; c <= 2.6 + 1e-9; c += 0.02) {
+    const core::SensorCell cell{model.inverter, model.flipflop, Picofarad{c}};
+    const auto thr = cell.threshold(skew);
+    if (thr && thr->value() >= 0.9 && thr->value() <= 1.1) {
+      caps_in_window.push_back(c);
+      thr_in_window.push_back(thr->value());
+    }
+  }
+
+  const auto fit = stats::fit_line(caps_in_window, thr_in_window);
+  bench::note("linearity inside the 0.9-1.1 V window: R^2 = " +
+              std::to_string(fit.r_squared) + ", slope = " +
+              std::to_string(fit.slope * 1000.0) + " mV/pF, max residual = " +
+              std::to_string(fit.max_abs_residual * 1000.0) + " mV");
+  const core::SensorCell anchor{model.inverter, model.flipflop, 2.0_pF};
+  const auto thr2 = anchor.threshold(skew);
+  bench::note("paper-vs-measured at C = 2 pF: 0.9360 V vs " +
+              std::to_string(thr2 ? thr2->value() : -1.0) + " V");
+}
+
+void BM_ThresholdSolve(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  const Picoseconds skew = model.skew(core::DelayCode{3});
+  double c = 0.5;
+  for (auto _ : state) {
+    c = c >= 4.0 ? 0.5 : c + 0.01;
+    const core::SensorCell cell{model.inverter, model.flipflop, Picofarad{c}};
+    benchmark::DoNotOptimize(cell.threshold(skew));
+  }
+}
+BENCHMARK(BM_ThresholdSolve);
+
+void BM_FullFig4Sweep(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  const Picoseconds skew = model.skew(core::DelayCode{3});
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (double c = 0.5; c <= 4.0; c += 0.25) {
+      const core::SensorCell cell{model.inverter, model.flipflop,
+                                  Picofarad{c}};
+      if (const auto thr = cell.threshold(skew)) acc += thr->value();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FullFig4Sweep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

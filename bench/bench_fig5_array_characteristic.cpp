@@ -1,0 +1,118 @@
+// Fig. 5 reproduction: 7-bit array characteristic for three delay codes.
+//
+// Paper: "in the delay code 011 case, the threshold range goes from 0.827V
+// (all errors) to 1.053V (no errors); ... the sensor output will have, for
+// example, code 0011111 if VDD-n is lower than 1.021V and greater than
+// 0.992V. In case the delay code is 010, the dynamic ranges from 0.951V to
+// 1.237V (also overvoltages can be measured)."
+//
+// We print the per-bit thresholds for codes 010 / 011 / 100 (the figure's
+// three delay relations) and the full word-vs-VDD staircase for code 011.
+#include "bench/bench_util.h"
+#include "calib/fit.h"
+#include "core/sensor_array.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+void report() {
+  const auto& model = calib::calibrated().model;
+  const auto array = calib::make_paper_array(model);
+
+  bench::section("Fig. 5 — per-bit thresholds for three CP-P delay codes");
+  util::CsvTable thr_table({"bit", "c_load_pF", "code010_V", "code011_V",
+                            "code100_V"});
+  const auto t010 = array.thresholds(model.skew(core::DelayCode{2}));
+  const auto t011 = array.thresholds(model.skew(core::DelayCode{3}));
+  const auto t100 = array.thresholds(model.skew(core::DelayCode{4}));
+  for (std::size_t i = 0; i < array.bits(); ++i) {
+    thr_table.new_row()
+        .add(static_cast<long long>(i + 1))
+        .add(array.cell(i).c_load().value(), 4)
+        .add(t010[i].value(), 5)
+        .add(t011[i].value(), 5)
+        .add(t100[i].value(), 5);
+  }
+  bench::print_table(thr_table);
+
+  bench::section("Fig. 5 — dynamic ranges (all-errors .. no-errors)");
+  util::CsvTable range_table(
+      {"delay_code", "skew_ps", "all_errors_below_V", "no_errors_above_V",
+       "paper_reference"});
+  const struct {
+    std::uint8_t code;
+    const char* paper;
+  } rows[] = {
+      {2, "paper: 0.951 - 1.237 V"},
+      {3, "paper: 0.827 - 1.053 V"},
+      {4, "paper: not quoted (lower window)"},
+  };
+  for (const auto& row : rows) {
+    const core::DelayCode code{row.code};
+    const auto range = array.dynamic_range(model.skew(code));
+    range_table.new_row()
+        .add(code.to_string())
+        .add(model.skew(code).value(), 5)
+        .add(range.all_errors_below.value(), 5)
+        .add(range.no_errors_above.value(), 5)
+        .add(std::string(row.paper));
+  }
+  bench::print_table(range_table);
+
+  bench::section("Fig. 5 — code-011 staircase (word vs VDD-n)");
+  util::CsvTable stair({"vdd_n_V", "word", "count"});
+  double last = -1.0;
+  for (double v = 0.80; v <= 1.08 + 1e-9; v += 0.01) {
+    const auto word = array.measure(Volt{v}, model.skew(core::DelayCode{3}));
+    if (static_cast<double>(word.count_ones()) != last) {
+      stair.new_row()
+          .add(v, 3)
+          .add(word.to_string())
+          .add(static_cast<long long>(word.count_ones()));
+      last = static_cast<double>(word.count_ones());
+    }
+  }
+  bench::print_table(stair);
+  bench::note("paper shape check: code 0011111 spans [0.992, 1.021) V");
+}
+
+void BM_ArrayMeasure(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  const auto array = calib::make_paper_array(model);
+  const Picoseconds skew = model.skew(core::DelayCode{3});
+  double v = 0.80;
+  for (auto _ : state) {
+    v = v >= 1.10 ? 0.80 : v + 0.001;
+    benchmark::DoNotOptimize(array.measure(Volt{v}, skew));
+  }
+}
+BENCHMARK(BM_ArrayMeasure);
+
+void BM_ArrayThresholds(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  const auto array = calib::make_paper_array(model);
+  const Picoseconds skew = model.skew(core::DelayCode{3});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.thresholds(skew));
+  }
+}
+BENCHMARK(BM_ArrayThresholds)->Unit(benchmark::kMicrosecond);
+
+void BM_FullCharacteristicThreeCodes(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  const auto array = calib::make_paper_array(model);
+  for (auto _ : state) {
+    for (std::uint8_t c : {2, 3, 4}) {
+      benchmark::DoNotOptimize(
+          array.thresholds(model.skew(core::DelayCode{c})));
+    }
+  }
+}
+BENCHMARK(BM_FullCharacteristicThreeCodes)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

@@ -1,0 +1,94 @@
+// Ablation A4 — PDN solver: droop shape and cost vs ladder depth.
+//
+// The noise substrate itself: how the first-droop estimate converges as the
+// lumped model is refined into an N-segment ladder, and what the transient
+// solve costs.
+#include "bench/bench_util.h"
+#include "psn/pdn.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+constexpr double kTotalR = 0.004;
+constexpr double kTotalLnH = 0.08;
+constexpr double kTotalCpF = 120000.0;
+
+psn::StepCurrent step_load() {
+  return psn::StepCurrent{Ampere{1.0}, Ampere{3.0}, 20000.0_ps};
+}
+
+void report() {
+  bench::section("A4 — first droop vs PDN ladder depth (2 A step)");
+  const auto load = step_load();
+
+  psn::LumpedPdnParams lumped_params;
+  lumped_params.v_reg = 1.0_V;
+  lumped_params.resistance = Ohm{kTotalR};
+  lumped_params.inductance = NanoHenry{kTotalLnH};
+  lumped_params.decap = Picofarad{kTotalCpF};
+  psn::LumpedPdn lumped{lumped_params};
+
+  util::CsvTable table({"model", "segments", "droop_min_V", "droop_mV",
+                        "time_of_min_ns", "rms_ripple_mV"});
+  auto add_row = [&table](const std::string& name, std::size_t segments,
+                          const psn::Waveform& w) {
+    const auto m = psn::analyze_droop(w, 1.0 - kTotalR * 1.0,
+                                      psn::RailPolarity::kSupplyDroop);
+    table.new_row()
+        .add(name)
+        .add(static_cast<long long>(segments))
+        .add(m.worst, 5)
+        .add((1.0 - m.worst) * 1000.0, 4)
+        .add(m.time_of_worst.value() * 1e-3, 5)
+        .add(m.rms_ripple * 1000.0, 4);
+  };
+
+  add_row("lumped", 1, lumped.solve(load, 150000.0_ps, 10.0_ps));
+  for (std::size_t n : {2, 4, 8, 16}) {
+    psn::LadderPdn ladder{psn::LadderPdnParams::uniform(
+        n, 1.0_V, Ohm{kTotalR}, NanoHenry{kTotalLnH}, Picofarad{kTotalCpF})};
+    add_row("ladder", n, ladder.solve(load, 150000.0_ps, 10.0_ps));
+  }
+  bench::print_table(table);
+  bench::note("analytic cross-check: lumped f_res = " +
+              std::to_string(lumped.resonant_frequency_ghz() * 1000.0) +
+              " MHz, Z0 = " +
+              std::to_string(lumped.characteristic_impedance_ohm() * 1000.0) +
+              " mOhm, Q = " + std::to_string(lumped.quality_factor()));
+}
+
+void BM_LumpedSolve(benchmark::State& state) {
+  psn::LumpedPdnParams p;
+  p.resistance = Ohm{kTotalR};
+  p.inductance = NanoHenry{kTotalLnH};
+  p.decap = Picofarad{kTotalCpF};
+  psn::LumpedPdn pdn{p};
+  const auto load = step_load();
+  const Picoseconds horizon{static_cast<double>(state.range(0)) * 1000.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pdn.solve(load, horizon, 10.0_ps));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 100);  // RK4 steps
+}
+BENCHMARK(BM_LumpedSolve)->Arg(50)->Arg(200)->Arg(800)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_LadderSolve(benchmark::State& state) {
+  psn::LadderPdn ladder{psn::LadderPdnParams::uniform(
+      static_cast<std::size_t>(state.range(0)), 1.0_V, Ohm{kTotalR},
+      NanoHenry{kTotalLnH}, Picofarad{kTotalCpF})};
+  const auto load = step_load();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ladder.solve(load, 100000.0_ps, 10.0_ps));
+  }
+}
+BENCHMARK(BM_LadderSolve)->Arg(2)->Arg(8)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

@@ -1,0 +1,90 @@
+// Ablation A8 — the sensor's reading distribution across canonical noise
+// scenarios.
+//
+// One table per the question a user actually asks: "what does the
+// thermometer report under each class of PSN event?" Each scenario is solved
+// through the PDN, observed with iterated measures at code 011, and
+// summarised with the MeasurementLog.
+#include "bench/bench_util.h"
+#include "calib/fit.h"
+#include "core/measurement_log.h"
+#include "core/thermometer.h"
+#include "cut/scenarios.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+void report() {
+  bench::section("A8 — sensor reading distribution per noise scenario");
+  const auto& model = calib::calibrated().model;
+
+  util::CsvTable table({"scenario", "true_worst_V", "sensor_worst_V",
+                        "mean_count", "out_of_range_pct", "description"});
+  for (const auto kind : cut::all_scenarios()) {
+    cut::ScenarioConfig config;
+    config.horizon = Picoseconds{400000.0};
+    const auto scenario = cut::make_scenario(kind, config);
+    const analog::SampledRail vdd = scenario.vdd.to_rail();
+    const analog::SampledRail gnd = scenario.gnd.to_rail();
+
+    auto thermometer = calib::make_paper_thermometer(model);
+    core::MeasurementLog log{7};
+    log.record_all(thermometer.iterate_vdd(analog::RailPair{&vdd, &gnd},
+                                           0.0_ps, 8000.0_ps, 48,
+                                           core::DelayCode{3}));
+
+    double mean_count = 0.0;
+    for (std::size_t c = 0; c < log.count_histogram().size(); ++c) {
+      mean_count += static_cast<double>(c) *
+                    static_cast<double>(log.count_histogram()[c]);
+    }
+    mean_count /= static_cast<double>(log.size());
+
+    table.new_row()
+        .add(std::string(cut::to_string(kind)))
+        .add(scenario.vdd_metrics.worst - scenario.gnd_metrics.worst, 5)
+        .add(log.worst() ? log.worst()->bin.estimate().value() : 0.0, 5)
+        .add(mean_count, 4)
+        .add(log.out_of_range_fraction() * 100.0, 4)
+        .add(scenario.description);
+  }
+  bench::print_table(table);
+  bench::note("worst readings track the true worst effective rail "
+              "(vdd - gnd bounce) within the code's LSB quantisation");
+}
+
+void BM_MakeScenario(benchmark::State& state) {
+  const auto kind = static_cast<cut::ScenarioKind>(state.range(0));
+  cut::ScenarioConfig config;
+  config.horizon = Picoseconds{200000.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cut::make_scenario(kind, config));
+  }
+}
+BENCHMARK(BM_MakeScenario)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioObservation(benchmark::State& state) {
+  const auto& model = calib::calibrated().model;
+  cut::ScenarioConfig config;
+  config.horizon = Picoseconds{200000.0};
+  const auto scenario =
+      cut::make_scenario(cut::ScenarioKind::kFirstDroop, config);
+  const analog::SampledRail vdd = scenario.vdd.to_rail();
+  for (auto _ : state) {
+    auto thermometer = calib::make_paper_thermometer(model);
+    core::MeasurementLog log{7};
+    log.record_all(thermometer.iterate_vdd(analog::RailPair{&vdd, nullptr},
+                                           0.0_ps, 8000.0_ps, 24,
+                                           core::DelayCode{3}));
+    benchmark::DoNotOptimize(log.out_of_range_fraction());
+  }
+}
+BENCHMARK(BM_ScenarioObservation)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

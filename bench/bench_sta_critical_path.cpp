@@ -1,0 +1,80 @@
+// Sec. III-B critical-path claim reproduction.
+//
+// Paper: "The critical path of the whole control system at 90nm is 1.22ns,
+// thus it can work with most of the typical CUTs system clock."
+//
+// We run the mini STA over the reconstructed CNTR+COUNTER+ENC+PG-select
+// netlist at TT/1.0V and additionally report the voltage-derated paths (the
+// control block sits on the nominal rail but "could be slightly affected by
+// a PS variation").
+#include "bench/bench_util.h"
+#include "calib/anchors.h"
+#include "sta/control_netlist.h"
+#include "sta/report.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+void report() {
+  bench::section("Critical path of the control system (paper: 1.22 ns)");
+  const auto& lib = analog::default_90nm_library();
+  const auto netlist = sta::build_control_netlist(lib);
+  const auto path = netlist.graph.critical_path();
+
+  util::CsvTable table({"metric", "value"});
+  table.new_row().add("gates").add(
+      static_cast<long long>(netlist.gate_count));
+  table.new_row().add("registers").add(
+      static_cast<long long>(netlist.register_count));
+  table.new_row().add("timing_graph_nodes").add(
+      static_cast<long long>(netlist.graph.node_count()));
+  table.new_row().add("timing_graph_edges").add(
+      static_cast<long long>(netlist.graph.edge_count()));
+  table.new_row().add("critical_path_ps").add(path.arrival.value(), 6);
+  table.new_row().add("paper_critical_path_ps").add(
+      calib::paper_anchors().control_critical_path.value(), 6);
+  bench::print_table(table);
+
+  bench::section("Sign-off-style timing report");
+  std::fputs(sta::render_timing_report(netlist.graph, path).c_str(), stdout);
+
+  bench::section("Voltage-derated critical path (nominal-rail droop)");
+  util::CsvTable derated({"v_nominal_rail_V", "derate_factor",
+                          "critical_path_ps", "fits_800MHz"});
+  for (double v : {1.05, 1.00, 0.95, 0.90, 0.85}) {
+    const double factor = lib.voltage_derate(Volt{v});
+    const double ps = path.arrival.value() * factor;
+    derated.new_row()
+        .add(v, 3)
+        .add(factor, 5)
+        .add(ps, 6)
+        .add(std::string(ps <= 1250.0 ? "yes" : "NO"));
+  }
+  bench::print_table(derated);
+  bench::note("paper shape check: at nominal supply the control fits an "
+              "800 MHz CUT clock with margin; deep droop erodes it");
+}
+
+void BM_BuildControlNetlist(benchmark::State& state) {
+  const auto& lib = analog::default_90nm_library();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta::build_control_netlist(lib));
+  }
+}
+BENCHMARK(BM_BuildControlNetlist)->Unit(benchmark::kMicrosecond);
+
+void BM_CriticalPathAnalysis(benchmark::State& state) {
+  const auto& lib = analog::default_90nm_library();
+  const auto netlist = sta::build_control_netlist(lib);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(netlist.graph.critical_path());
+  }
+}
+BENCHMARK(BM_CriticalPathAnalysis)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

@@ -1,0 +1,13 @@
+// Prints the model-calibration report: fitted physics, anchor-by-anchor
+// paper-vs-achieved comparison, and the derived DS load ladder. Run it to
+// regenerate the numbers quoted in EXPERIMENTS.md section "Calibration
+// context".
+#include <iostream>
+
+#include "calib/fit.h"
+
+int main() {
+  psnt::calib::write_calibration_report(std::cout,
+                                        psnt::calib::calibrated());
+  return 0;
+}

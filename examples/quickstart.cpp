@@ -1,0 +1,59 @@
+// Quickstart: measure a noisy supply rail with the paper-calibrated
+// 7-bit PSN thermometer.
+//
+//   $ ./quickstart [vdd_volts]
+//
+// Builds the default sensor system (Fig. 6), runs one PREPARE+SENSE
+// transaction against a constant rail, and prints the thermometer word, the
+// encoder output and the decoded voltage bin.
+#include <cstdio>
+#include <cstdlib>
+
+#include "analog/rail.h"
+#include "calib/fit.h"
+#include "core/thermometer.h"
+
+int main(int argc, char** argv) {
+  using namespace psnt;
+  using namespace psnt::literals;
+
+  const double vdd_volts = argc > 1 ? std::atof(argv[1]) : 0.97;
+
+  // The calibrated model: alpha-power inverter + FF timing fitted to the
+  // paper's Fig. 4 / Fig. 5 anchors (see DESIGN.md section 6).
+  const auto& model = calib::calibrated().model;
+  auto thermometer = calib::make_paper_thermometer(model);
+
+  // The rail under test. Swap in psn::LumpedPdn + Waveform::to_rail() for a
+  // physically-modelled noisy rail (see the other examples).
+  analog::ConstantRail vdd{Volt{vdd_volts}};
+
+  const core::DelayCode code{3};  // the paper's running example: 011
+  const auto range = thermometer.vdd_range(code);
+  std::printf("delay code %s window: %.3f V (all errors) .. %.3f V (no errors)\n",
+              code.to_string().c_str(), range.all_errors_below.value(),
+              range.no_errors_above.value());
+
+  const core::Measurement m = thermometer.measure_vdd(
+      analog::RailPair{&vdd, nullptr}, 0.0_ps, code);
+  const core::EncodedWord enc = thermometer.encode(m.word);
+
+  std::printf("measured VDD-n     : %.3f V (ground truth)\n", vdd_volts);
+  std::printf("thermometer word   : %s\n", m.word.to_string().c_str());
+  std::printf("encoder output     : count=%u binary=0x%x%s%s\n", enc.count,
+              enc.binary, enc.underflow ? " UNDERFLOW" : "",
+              enc.overflow ? " OVERFLOW" : "");
+  std::printf("decoded bin        : %s\n", m.bin.to_string().c_str());
+  std::printf("sense edge at      : %.1f ps after enable\n",
+              m.timestamp.value());
+
+  if (m.bin.in_range()) {
+    const bool ok = m.bin.lo->value() <= vdd_volts &&
+                    vdd_volts < m.bin.hi->value() + 1e-9;
+    std::printf("bracketing check   : %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+  }
+  std::printf("bracketing check   : value outside the code window — retune "
+              "the delay code (see process_corner_calibration example)\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "analog/mtbf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/rng.h"
+#include "util/error.h"
+
+namespace psnt::analog {
+
+double unresolved_probability(const FlipFlopTimingModel& ff,
+                              const MtbfParams& params) {
+  PSNT_CHECK(params.resolve_time.value() >= 0.0,
+             "resolve time must be non-negative");
+  PSNT_CHECK(params.edge_jitter_window.value() > 0.0,
+             "jitter window must be positive");
+  const double w = std::min(ff.params().meta_window.value(),
+                            params.edge_jitter_window.value());
+  const double p_enter = w / params.edge_jitter_window.value();
+  const double p_stick =
+      std::exp(-params.resolve_time.value() / ff.params().tau.value());
+  return p_enter * p_stick;
+}
+
+double mtbf_seconds(const FlipFlopTimingModel& ff, const MtbfParams& params) {
+  PSNT_CHECK(params.measure_rate_hz > 0.0, "measure rate must be positive");
+  const double p = unresolved_probability(ff, params);
+  if (p < 1e-300) return 1e30;
+  return 1.0 / (params.measure_rate_hz * p);
+}
+
+Picoseconds resolve_time_for_mtbf(const FlipFlopTimingModel& ff,
+                                  const MtbfParams& params,
+                                  double target_mtbf_s) {
+  PSNT_CHECK(target_mtbf_s > 0.0, "target MTBF must be positive");
+  const double w = std::min(ff.params().meta_window.value(),
+                            params.edge_jitter_window.value());
+  const double p_enter = w / params.edge_jitter_window.value();
+  // 1/(rate * p_enter * e^{-t/tau}) = target  →  t = tau ln(rate p_enter target)
+  const double arg = params.measure_rate_hz * p_enter * target_mtbf_s;
+  if (arg <= 1.0) return Picoseconds{0.0};
+  return Picoseconds{ff.params().tau.value() * std::log(arg)};
+}
+
+double monte_carlo_unresolved_fraction(const FlipFlopTimingModel& ff,
+                                       const MtbfParams& params,
+                                       std::size_t trials,
+                                       std::uint64_t seed) {
+  PSNT_CHECK(trials > 0, "need at least one trial");
+  stats::Xoshiro256 rng(seed);
+  const double half = params.edge_jitter_window.value() / 2.0;
+  const Picoseconds clock_edge{1000.0};
+  const Picoseconds deadline = clock_edge - ff.params().t_setup;
+  std::size_t unresolved = 0;
+  for (std::size_t k = 0; k < trials; ++k) {
+    // DS edge uniformly jittered around the setup deadline.
+    const Picoseconds arrival{deadline.value() + rng.uniform(-half, half)};
+    const auto outcome = ff.sample(arrival, clock_edge, true, false);
+    const double extra =
+        outcome.clk_to_q.value() - ff.params().t_clk_to_q.value();
+    if (outcome.region == SampleRegion::kMetastable &&
+        extra > params.resolve_time.value()) {
+      ++unresolved;
+    }
+  }
+  return static_cast<double>(unresolved) / static_cast<double>(trials);
+}
+
+}  // namespace psnt::analog

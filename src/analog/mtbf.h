@@ -1,0 +1,56 @@
+// Metastability failure-rate analysis for the sensor flip-flops.
+//
+// The cells sampling right at their threshold operate inside the FF's
+// metastability window by design — the thermometer's LSB boundary *is* a
+// metastable boundary. This module quantifies the consequence with the
+// standard synchronizer failure model:
+//
+//   P(unresolved after t_resolve) = (w / t_window) * exp(-t_resolve / tau)
+//
+// where w is the metastability aperture, t_window the time span over which
+// the data edge is uniformly likely to land, and tau the regeneration
+// constant. MTBF follows from the measure rate. The paper's architecture
+// gives the flop a full control-clock period minus the downstream ENC path
+// to resolve, which is what makes the scheme safe — bench A6 reproduces
+// that argument quantitatively.
+#pragma once
+
+#include "analog/flipflop_model.h"
+#include "util/units.h"
+
+namespace psnt::analog {
+
+struct MtbfParams {
+  // Time the flop output has to settle before it is consumed (control clock
+  // period minus the encoder's path delay).
+  Picoseconds resolve_time{800.0};
+  // Measures per second (one per PREPARE+SENSE transaction).
+  double measure_rate_hz = 1e6;
+  // Span over which the DS edge is effectively uniform relative to the
+  // sampling edge (the rail-noise-induced jitter of the DS arrival).
+  Picoseconds edge_jitter_window{50.0};
+};
+
+// Probability that one sample is still metastable after resolve_time.
+[[nodiscard]] double unresolved_probability(const FlipFlopTimingModel& ff,
+                                            const MtbfParams& params);
+
+// Mean time between unresolved samples, in seconds (inf-like 1e30 when the
+// probability underflows).
+[[nodiscard]] double mtbf_seconds(const FlipFlopTimingModel& ff,
+                                  const MtbfParams& params);
+
+// The resolve time needed to reach a target MTBF (seconds).
+[[nodiscard]] Picoseconds resolve_time_for_mtbf(const FlipFlopTimingModel& ff,
+                                                const MtbfParams& params,
+                                                double target_mtbf_s);
+
+// Monte-Carlo cross-check: runs `trials` samples with the DS arrival drawn
+// uniformly inside the jitter window around the setup deadline and counts
+// how many resolve later than `resolve_time` under the tau model. Returns
+// the empirical unresolved fraction.
+[[nodiscard]] double monte_carlo_unresolved_fraction(
+    const FlipFlopTimingModel& ff, const MtbfParams& params,
+    std::size_t trials, std::uint64_t seed);
+
+}  // namespace psnt::analog

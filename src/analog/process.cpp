@@ -1,0 +1,56 @@
+#include "analog/process.h"
+
+#include <algorithm>
+
+namespace psnt::analog {
+
+std::string_view to_string(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::kTypical:
+      return "TT";
+    case ProcessCorner::kSlow:
+      return "SS";
+    case ProcessCorner::kFast:
+      return "FF";
+    case ProcessCorner::kSlowFast:
+      return "SF";
+    case ProcessCorner::kFastSlow:
+      return "FS";
+  }
+  return "?";
+}
+
+CornerScaling corner_scaling(ProcessCorner corner) {
+  switch (corner) {
+    case ProcessCorner::kTypical:
+      return {1.00, Volt{0.000}};
+    case ProcessCorner::kSlow:
+      return {0.85, Volt{+0.025}};
+    case ProcessCorner::kFast:
+      return {1.15, Volt{-0.025}};
+    case ProcessCorner::kSlowFast:
+      return {0.95, Volt{+0.010}};
+    case ProcessCorner::kFastSlow:
+      return {1.05, Volt{-0.010}};
+  }
+  return {1.0, Volt{0.0}};
+}
+
+AlphaPowerDelayModel apply_corner(const AlphaPowerDelayModel& model,
+                                  ProcessCorner corner) {
+  const CornerScaling s = corner_scaling(corner);
+  return model.with_drive_scaled(s.drive_factor).with_vth_shifted(s.vth_shift);
+}
+
+AlphaPowerDelayModel apply_mismatch(const AlphaPowerDelayModel& model,
+                                    const MismatchParams& params,
+                                    stats::Xoshiro256& rng) {
+  // Clamp the drive factor away from zero so an extreme draw cannot create an
+  // unphysical cell.
+  const double factor =
+      std::max(0.5, rng.normal(1.0, params.sigma_drive));
+  const Volt dvth{rng.normal(0.0, params.sigma_vth.value())};
+  return model.with_drive_scaled(factor).with_vth_shifted(dvth);
+}
+
+}  // namespace psnt::analog

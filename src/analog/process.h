@@ -1,0 +1,55 @@
+// Process corners and within-die variation.
+//
+// Section III-A of the paper: "in slow conditions, the INV is slower and thus
+// the VDD-n threshold value is lower: the CP-P delay necessary to achieve the
+// same characteristic should be lower". We model corners as multiplicative
+// drive-strength factors plus threshold-voltage shifts applied to the
+// alpha-power model, and within-die mismatch as per-cell Gaussian
+// perturbations, so the compensation experiment (bench A2) can retrim the
+// Delay Code per corner and quantify the residual error.
+#pragma once
+
+#include <string_view>
+
+#include "analog/supply_delay_model.h"
+#include "stats/rng.h"
+#include "util/units.h"
+
+namespace psnt::analog {
+
+enum class ProcessCorner {
+  kTypical,    // TT
+  kSlow,       // SS
+  kFast,       // FF
+  kSlowFast,   // SF (slow NMOS / fast PMOS)
+  kFastSlow,   // FS
+};
+
+[[nodiscard]] std::string_view to_string(ProcessCorner corner);
+
+struct CornerScaling {
+  double drive_factor = 1.0;  // multiplies K
+  Volt vth_shift{0.0};        // adds to V_t
+};
+
+// Canonical 90 nm-flavoured corner table. Slow silicon has weaker drive and
+// higher V_t; fast the opposite. Cross corners move drive modestly (the sense
+// inverter's rising and falling edges average the N/P imbalance).
+[[nodiscard]] CornerScaling corner_scaling(ProcessCorner corner);
+
+// Applies a corner to a delay model.
+[[nodiscard]] AlphaPowerDelayModel apply_corner(
+    const AlphaPowerDelayModel& model, ProcessCorner corner);
+
+// Within-die random mismatch: every call perturbs K by N(1, sigma_drive) and
+// V_t by N(0, sigma_vth). Used for Monte-Carlo array characterisation.
+struct MismatchParams {
+  double sigma_drive = 0.02;   // 2% sigma on drive strength
+  Volt sigma_vth{0.005};       // 5 mV sigma on threshold voltage
+};
+
+[[nodiscard]] AlphaPowerDelayModel apply_mismatch(
+    const AlphaPowerDelayModel& model, const MismatchParams& params,
+    stats::Xoshiro256& rng);
+
+}  // namespace psnt::analog

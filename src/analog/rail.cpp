@@ -1,0 +1,33 @@
+#include "analog/rail.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::analog {
+
+SampledRail::SampledRail(Picoseconds start, Picoseconds period,
+                         std::vector<double> samples_volts)
+    : start_(start), period_(period), samples_(std::move(samples_volts)) {
+  PSNT_CHECK(period_.value() > 0.0, "sample period must be positive");
+  PSNT_CHECK(!samples_.empty(), "sampled rail needs at least one sample");
+}
+
+Volt SampledRail::at(Picoseconds t) const {
+  const double pos = (t - start_).value() / period_.value();
+  if (pos <= 0.0) return Volt{samples_.front()};
+  const auto last = static_cast<double>(samples_.size() - 1);
+  if (pos >= last) return Volt{samples_.back()};
+  const auto idx = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(idx);
+  return Volt{samples_[idx] * (1.0 - frac) + samples_[idx + 1] * frac};
+}
+
+Volt RailPair::effective(Picoseconds t) const {
+  PSNT_CHECK(vdd != nullptr, "rail pair missing vdd source");
+  const Volt v = vdd->at(t);
+  if (gnd == nullptr) return v;
+  return v - gnd->at(t);
+}
+
+}  // namespace psnt::analog

@@ -1,0 +1,76 @@
+// Rail voltage sources: the interface between the noise substrate and the
+// supply-sensitive cells.
+//
+// In the paper's system the sense inverter is powered directly by the noisy
+// rail under measurement (VDD-n / GND-n) while everything else sits on
+// nominal rails. In the simulator, every supply-sensitive cell evaluates its
+// delay against `rail.at(now)` at event time, which is how PDN waveforms
+// couple into logic timing.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psnt::analog {
+
+class RailSource {
+ public:
+  virtual ~RailSource() = default;
+  // Instantaneous rail voltage at absolute time t.
+  [[nodiscard]] virtual Volt at(Picoseconds t) const = 0;
+};
+
+class ConstantRail final : public RailSource {
+ public:
+  explicit ConstantRail(Volt v) : v_(v) {}
+  [[nodiscard]] Volt at(Picoseconds) const override { return v_; }
+  void set(Volt v) { v_ = v; }
+
+ private:
+  Volt v_;
+};
+
+// Piecewise-linear sampled rail: uniform sample period, linear interpolation,
+// clamped at both ends. This is the adaptor psn::Waveform renders into.
+class SampledRail final : public RailSource {
+ public:
+  SampledRail(Picoseconds start, Picoseconds period,
+              std::vector<double> samples_volts);
+
+  [[nodiscard]] Volt at(Picoseconds t) const override;
+
+  [[nodiscard]] Picoseconds start() const { return start_; }
+  [[nodiscard]] Picoseconds period() const { return period_; }
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+
+ private:
+  Picoseconds start_;
+  Picoseconds period_;
+  std::vector<double> samples_;
+};
+
+// Arbitrary functional rail, handy in tests.
+class CallbackRail final : public RailSource {
+ public:
+  using Fn = std::function<Volt(Picoseconds)>;
+  explicit CallbackRail(Fn fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] Volt at(Picoseconds t) const override { return fn_(t); }
+
+ private:
+  Fn fn_;
+};
+
+// A rail pair as the sensor sees it: the effective overdrive supply of the
+// sense inverter is vdd(t) - gnd(t).
+struct RailPair {
+  const RailSource* vdd = nullptr;
+  const RailSource* gnd = nullptr;
+
+  [[nodiscard]] Volt effective(Picoseconds t) const;
+};
+
+}  // namespace psnt::analog

@@ -1,0 +1,27 @@
+#include "analog/temperature.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::analog {
+
+double temperature_drive_factor(Celsius temperature,
+                                const TemperatureParams& params) {
+  const double t_kelvin = temperature.value() + 273.15;
+  const double t0_kelvin = params.reference.value() + 273.15;
+  PSNT_CHECK(t_kelvin > 0.0 && t0_kelvin > 0.0,
+             "temperature below absolute zero");
+  return std::pow(t_kelvin / t0_kelvin, -params.mu_exponent);
+}
+
+AlphaPowerDelayModel apply_temperature(const AlphaPowerDelayModel& model,
+                                       Celsius temperature,
+                                       const TemperatureParams& params) {
+  const double factor = temperature_drive_factor(temperature, params);
+  const Volt dvth{params.vt_slope_v_per_degc *
+                  (temperature.value() - params.reference.value())};
+  return model.with_drive_scaled(factor).with_vth_shifted(dvth);
+}
+
+}  // namespace psnt::analog

@@ -1,0 +1,33 @@
+// First-order temperature dependence of the delay model.
+//
+// Two competing effects around 1 V / 90 nm: mobility degrades with
+// temperature (slower) while V_t drops (faster). Near nominal supply the
+// mobility term dominates, so cells slow down with temperature; we model
+//   K(T)  = K(T0)  * (T_kelvin/T0_kelvin)^(-mu_exponent)
+//   Vt(T) = Vt(T0) + kappa_vt * (T - T0)
+// with T0 = 25 °C. This is the standard BSIM-flavoured first-order
+// abstraction, sufficient for the thermometer's temperature-sensitivity
+// characterisation (the paper's "fine tuning" hook).
+#pragma once
+
+#include "analog/supply_delay_model.h"
+#include "util/units.h"
+
+namespace psnt::analog {
+
+struct TemperatureParams {
+  Celsius reference{25.0};
+  double mu_exponent = 1.5;                 // mobility ~ T^-1.5
+  double vt_slope_v_per_degc = -0.7e-3;     // Vt drops ~0.7 mV/°C
+};
+
+// Returns the delay model derated from `reference` to `temperature`.
+[[nodiscard]] AlphaPowerDelayModel apply_temperature(
+    const AlphaPowerDelayModel& model, Celsius temperature,
+    const TemperatureParams& params = {});
+
+// Drive-strength multiplier alone (exposed for tests/benches).
+[[nodiscard]] double temperature_drive_factor(
+    Celsius temperature, const TemperatureParams& params = {});
+
+}  // namespace psnt::analog

@@ -1,0 +1,53 @@
+// Every number the paper quotes, collected in one place.
+//
+// These are the calibration targets (DESIGN.md §6) and the expected values
+// the reproduction benches compare against in EXPERIMENTS.md.
+#pragma once
+
+#include <array>
+
+#include "util/units.h"
+
+namespace psnt::calib {
+
+struct PaperAnchors {
+  // Fig. 4: a 2 pF DS load fails below 0.9360 V (at the running-example
+  // delay code 011).
+  Picofarad fig4_load{2.0};
+  Volt fig4_threshold{0.9360};
+
+  // Fig. 5, delay code 011: per-bit thresholds. The paper quotes 0.827 (all
+  // errors), 0.896, 0.929, 0.992, 1.021 and 1.053 (no errors); the 4th bit is
+  // not quoted and is interpolated.
+  std::array<Volt, 7> fig5_code011_thresholds{
+      Volt{0.827}, Volt{0.896}, Volt{0.929}, Volt{0.9605},
+      Volt{0.992}, Volt{1.021}, Volt{1.053}};
+
+  // Fig. 5, delay code 010: dynamic range 0.951 V (all errors) to 1.237 V
+  // (no errors) — "also overvoltages can be measured".
+  Volt fig5_code010_lo{0.951};
+  Volt fig5_code010_hi{1.237};
+
+  // Sec. III-B delay-code table [ps].
+  std::array<Picoseconds, 8> delay_table{
+      Picoseconds{26},  Picoseconds{40}, Picoseconds{50}, Picoseconds{65},
+      Picoseconds{77},  Picoseconds{92}, Picoseconds{100},
+      Picoseconds{107}};
+
+  // Fig. 9: code 011, VDD-n = 1.0 V reads 0011111 (bin 0.992–1.021 V);
+  // VDD-n = 0.9 V reads 0000011 (bin 0.896–0.929 V).
+  Volt fig9_vdd_first{1.0};
+  Volt fig9_vdd_second{0.9};
+  const char* fig9_word_first = "0011111";
+  const char* fig9_word_second = "0000011";
+
+  // Sec. III-B: control critical path at 90 nm.
+  Picoseconds control_critical_path{1220.0};
+};
+
+[[nodiscard]] inline const PaperAnchors& paper_anchors() {
+  static const PaperAnchors anchors{};
+  return anchors;
+}
+
+}  // namespace psnt::calib

@@ -1,0 +1,214 @@
+#include "calib/fit.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "stats/optimize.h"
+#include "util/error.h"
+
+namespace psnt::calib {
+
+namespace {
+
+// Fixed (library) values during the fit.
+constexpr double kIntrinsicCapPf = 0.15;
+const analog::FlipFlopParams kFfParams{};  // defaults: setup 35 ps, etc.
+
+struct FitVars {
+  double k;            // drive constant, pF/ps
+  double alpha;        // velocity-saturation index
+  double vth;          // threshold voltage, V
+  double insertion;    // CP insertion delay, ps
+  double c1;           // nuisance: lowest-threshold load, pF
+  double c7;           // nuisance: highest-threshold load, pF
+
+  static FitVars from_vector(const std::vector<double>& x) {
+    return FitVars{x[0], x[1], x[2], x[3], x[4], x[5]};
+  }
+  [[nodiscard]] std::vector<double> to_vector() const {
+    return {k, alpha, vth, insertion, c1, c7};
+  }
+
+  [[nodiscard]] bool feasible() const {
+    return k > 1e-4 && alpha > 0.8 && alpha < 2.2 && vth > 0.1 && vth < 0.6 &&
+           insertion > 0.0 && insertion < 500.0 && c1 > 0.0 && c7 > c1;
+  }
+};
+
+double budget_ps(const FitVars& v, const PaperAnchors& anchors,
+                 std::size_t code) {
+  return v.insertion + anchors.delay_table[code].value() -
+         kFfParams.t_setup.value();
+}
+
+double delay_ps(const FitVars& v, double volt, double load_pf) {
+  const double overdrive = volt - v.vth;
+  if (overdrive <= 1e-6) return 1e9;
+  return (load_pf + kIntrinsicCapPf) * volt /
+         (v.k * std::pow(overdrive, v.alpha));
+}
+
+double objective(const std::vector<double>& x, const PaperAnchors& anchors) {
+  const FitVars v = FitVars::from_vector(x);
+  if (!v.feasible()) return 1e12;
+
+  const double b011 = budget_ps(v, anchors, 3);
+  const double b010 = budget_ps(v, anchors, 2);
+  if (b011 <= 0.0 || b010 <= 0.0) return 1e12;
+
+  const double r1 =
+      delay_ps(v, anchors.fig4_threshold.value(), anchors.fig4_load.value()) -
+      b011;
+  const double r2 =
+      delay_ps(v, anchors.fig5_code011_thresholds.back().value(), v.c7) - b011;
+  const double r3 = delay_ps(v, anchors.fig5_code010_hi.value(), v.c7) - b010;
+  const double r4 =
+      delay_ps(v, anchors.fig5_code011_thresholds.front().value(), v.c1) -
+      b011;
+  const double r5 = delay_ps(v, anchors.fig5_code010_lo.value(), v.c1) - b010;
+
+  // Weak priors: keep the device parameters physically 90 nm-flavoured so the
+  // underdetermined direction of the system does not wander.
+  const double p_alpha = 3.0 * (v.alpha - 1.3);
+  const double p_vth = 100.0 * (v.vth - 0.32);
+
+  return r1 * r1 + r2 * r2 + r3 * r3 + r4 * r4 + r5 * r5 +
+         p_alpha * p_alpha + p_vth * p_vth;
+}
+
+}  // namespace
+
+Picoseconds CalibratedModel::skew(core::DelayCode code) const {
+  return cp_insertion + paper_anchors().delay_table[code.value()];
+}
+
+Picoseconds CalibratedModel::budget(core::DelayCode code) const {
+  return skew(code) - flipflop.params().t_setup;
+}
+
+core::PulseGenerator::Config CalibratedModel::pg_config() const {
+  core::PulseGenerator::Config cfg;
+  cfg.cp_delay = paper_anchors().delay_table;
+  cfg.cp_insertion = cp_insertion;
+  return cfg;
+}
+
+FitResult fit_paper_model(const PaperAnchors& anchors) {
+  const FitVars start{0.030, 1.3, 0.32, 93.0, 1.7, 2.3};
+
+  stats::NelderMeadOptions options;
+  options.max_iterations = 6000;
+  options.f_tolerance = 1e-14;
+  const auto nm = stats::nelder_mead(
+      [&anchors](const std::vector<double>& x) {
+        return objective(x, anchors);
+      },
+      start.to_vector(), options);
+
+  const FitVars v = FitVars::from_vector(nm.x);
+  PSNT_CHECK(v.feasible(), "calibration converged outside the feasible box");
+
+  FitResult result;
+  result.objective = nm.fx;
+  result.iterations = nm.iterations;
+  result.converged = nm.converged;
+
+  analog::AlphaPowerParams inv_params;
+  inv_params.drive_k_pf_per_ps = v.k;
+  inv_params.alpha = v.alpha;
+  inv_params.v_threshold = Volt{v.vth};
+  inv_params.c_intrinsic = Picofarad{kIntrinsicCapPf};
+  result.model.inverter = analog::AlphaPowerDelayModel{inv_params};
+  result.model.flipflop = analog::FlipFlopTimingModel{kFfParams};
+  result.model.cp_insertion = Picoseconds{v.insertion};
+
+  // Solve the seven loads exactly against the code-011 target thresholds.
+  const Picoseconds b011 = result.model.budget(core::DelayCode{3});
+  for (const Volt thr : anchors.fig5_code011_thresholds) {
+    const auto load = result.model.inverter.load_for_budget(thr, b011);
+    PSNT_CHECK(load.has_value(),
+               "fitted model cannot realise a Fig. 5 threshold");
+    result.model.array_loads.push_back(*load);
+  }
+  for (std::size_t i = 1; i < result.model.array_loads.size(); ++i) {
+    PSNT_CHECK(result.model.array_loads[i] > result.model.array_loads[i - 1],
+               "calibrated loads must ascend");
+  }
+
+  // Paper-vs-fitted report: the non-anchored quantities are predictions.
+  auto add_report = [&result](std::string name, double target, double achieved,
+                              std::string unit) {
+    result.report.push_back(
+        {std::move(name), target, achieved, std::move(unit)});
+  };
+  const auto& inv = result.model.inverter;
+  {
+    const auto thr =
+        inv.threshold_supply(anchors.fig4_load, b011);
+    add_report("fig4_threshold_at_2pF_V", anchors.fig4_threshold.value(),
+               thr ? thr->value() : 0.0, "V");
+  }
+  {
+    const Picoseconds b010 = result.model.budget(core::DelayCode{2});
+    const auto lo =
+        inv.threshold_supply(result.model.array_loads.front(), b010);
+    const auto hi =
+        inv.threshold_supply(result.model.array_loads.back(), b010);
+    add_report("fig5_code010_range_lo_V", anchors.fig5_code010_lo.value(),
+               lo ? lo->value() : 0.0, "V");
+    add_report("fig5_code010_range_hi_V", anchors.fig5_code010_hi.value(),
+               hi ? hi->value() : 0.0, "V");
+  }
+  for (std::size_t i = 0; i < result.model.array_loads.size(); ++i) {
+    const auto thr =
+        inv.threshold_supply(result.model.array_loads[i], b011);
+    add_report("fig5_code011_thr" + std::to_string(i + 1) + "_V",
+               anchors.fig5_code011_thresholds[i].value(),
+               thr ? thr->value() : 0.0, "V");
+  }
+  return result;
+}
+
+void write_calibration_report(std::ostream& os, const FitResult& fit) {
+  const auto& p = fit.model.inverter.params();
+  os << "PSNT calibration report\n";
+  os << "=======================\n";
+  os << "fitted alpha-power model: K = " << p.drive_k_pf_per_ps
+     << " pF/ps, alpha = " << p.alpha
+     << ", Vt = " << p.v_threshold.value() << " V, C_int = "
+     << p.c_intrinsic.value() << " pF\n";
+  os << "CP insertion delay: " << fit.model.cp_insertion.value() << " ps\n";
+  os << "objective (sum sq residual + priors): " << fit.objective << "\n\n";
+
+  os << "anchor                         target      achieved    error\n";
+  for (const auto& r : fit.report) {
+    char line[128];
+    std::snprintf(line, sizeof line, "%-30s %-11.4f %-11.4f %+.4f %s\n",
+                  r.name.c_str(), r.target, r.achieved, r.error(),
+                  r.unit.c_str());
+    os << line;
+  }
+  os << "\narray loads (pF):";
+  for (const auto& c : fit.model.array_loads) os << ' ' << c.value();
+  os << "\n";
+}
+
+const FitResult& calibrated() {
+  static const FitResult result = fit_paper_model();
+  return result;
+}
+
+core::SensorArray make_paper_array(const CalibratedModel& model) {
+  return core::SensorArray::with_loads(model.inverter, model.flipflop,
+                                       model.array_loads);
+}
+
+core::NoiseThermometer make_paper_thermometer(const CalibratedModel& model,
+                                              core::ThermometerConfig config) {
+  return core::NoiseThermometer{
+      make_paper_array(model), make_paper_array(model),
+      core::PulseGenerator{model.pg_config()}, config};
+}
+
+}  // namespace psnt::calib

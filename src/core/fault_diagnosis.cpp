@@ -1,0 +1,102 @@
+#include "core/fault_diagnosis.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+const char* to_string(CellHealth health) {
+  switch (health) {
+    case CellHealth::kHealthy:
+      return "healthy";
+    case CellHealth::kStuckLow:
+      return "stuck-low";
+    case CellHealth::kStuckHigh:
+      return "stuck-high";
+    case CellHealth::kMarginal:
+      return "marginal";
+  }
+  return "?";
+}
+
+bool DiagnosisReport::all_healthy() const {
+  for (const auto& c : cells) {
+    if (c.health != CellHealth::kHealthy) return false;
+  }
+  return true;
+}
+
+std::size_t DiagnosisReport::faulty_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cells) {
+    if (c.health != CellHealth::kHealthy) ++n;
+  }
+  return n;
+}
+
+std::string DiagnosisReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& c : cells) {
+    os << "bit " << c.bit << ": " << core::to_string(c.health);
+    if (c.flip_voltage) os << " (flips at " << c.flip_voltage->value() << " V)";
+    os << "\n";
+  }
+  return os.str();
+}
+
+DiagnosisReport diagnose_cells(
+    const std::function<ThermoWord(Volt)>& measure, Volt v_lo, Volt v_hi,
+    std::size_t steps) {
+  PSNT_CHECK(v_hi > v_lo, "sweep window must be non-empty");
+  PSNT_CHECK(steps >= 3, "sweep needs at least three points");
+
+  // Collect the sweep once.
+  std::vector<ThermoWord> words;
+  words.reserve(steps);
+  std::vector<double> volts;
+  volts.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double v = v_lo.value() + (v_hi.value() - v_lo.value()) *
+                                        static_cast<double>(i) /
+                                        static_cast<double>(steps - 1);
+    volts.push_back(v);
+    words.push_back(measure(Volt{v}));
+  }
+  const std::size_t width = words.front().width();
+  for (const auto& w : words) {
+    PSNT_CHECK(w.width() == width, "sweep words must share one width");
+  }
+
+  DiagnosisReport report;
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    CellDiagnosis diag;
+    diag.bit = bit;
+    bool saw_zero = false;
+    bool saw_one = false;
+    bool prev = words.front().bit(bit);
+    (prev ? saw_one : saw_zero) = true;
+    for (std::size_t i = 1; i < steps; ++i) {
+      const bool cur = words[i].bit(bit);
+      (cur ? saw_one : saw_zero) = true;
+      if (cur != prev) {
+        ++diag.flip_count;
+        if (!diag.flip_voltage && cur) diag.flip_voltage = Volt{volts[i]};
+        prev = cur;
+      }
+    }
+    if (!saw_one) {
+      diag.health = CellHealth::kStuckLow;
+    } else if (!saw_zero) {
+      diag.health = CellHealth::kStuckHigh;
+    } else if (diag.flip_count == 1) {
+      diag.health = CellHealth::kHealthy;
+    } else {
+      diag.health = CellHealth::kMarginal;
+    }
+    report.cells.push_back(diag);
+  }
+  return report;
+}
+
+}  // namespace psnt::core

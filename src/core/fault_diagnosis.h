@@ -1,0 +1,53 @@
+// Sensor self-test: diagnosing broken cells from voltage sweeps.
+//
+// The paper positions the system "for PSN as scan chains are for data
+// faults" — so the sensor itself must be testable. A healthy cell's output
+// bit flips exactly once (0→1) as the swept supply crosses its threshold; a
+// cell whose bit never moves is stuck, and one that flips more than once is
+// marginal (metastable boundary wider than a sweep step, or a mismatched
+// threshold out of order). This module runs that diagnosis from any
+// word-per-voltage source, so it works against behavioral arrays, the
+// gate-level system, or real silicon readouts alike.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/measurement.h"
+#include "core/thermo_code.h"
+
+namespace psnt::core {
+
+enum class CellHealth {
+  kHealthy,    // exactly one 0→1 flip inside the sweep
+  kStuckLow,   // never read 1
+  kStuckHigh,  // never read 0
+  kMarginal,   // multiple flips (noisy/out-of-order threshold)
+};
+
+[[nodiscard]] const char* to_string(CellHealth health);
+
+struct CellDiagnosis {
+  std::size_t bit = 0;
+  CellHealth health = CellHealth::kHealthy;
+  // Voltage of the (first) 0→1 flip, when one exists.
+  std::optional<Volt> flip_voltage;
+  std::size_t flip_count = 0;
+};
+
+struct DiagnosisReport {
+  std::vector<CellDiagnosis> cells;
+  [[nodiscard]] bool all_healthy() const;
+  [[nodiscard]] std::size_t faulty_count() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Sweeps [v_lo, v_hi] in `steps` points through `measure` (word per
+// voltage; the sweep must cover every cell's threshold) and classifies each
+// bit. Requires steps >= 3.
+[[nodiscard]] DiagnosisReport diagnose_cells(
+    const std::function<ThermoWord(Volt)>& measure, Volt v_lo, Volt v_hi,
+    std::size_t steps);
+
+}  // namespace psnt::core

@@ -1,0 +1,56 @@
+// The complete sensor system at gate level: synthesized control FSM driving
+// the pulse generator and sensor array inside the event simulator.
+//
+// This is the whole of Fig. 6 as a netlist: the StructuralControlFsm's P/CP
+// command outputs feed the PG's common buffers, the delay line and MUX tree
+// produce the skewed pair, supply-sensitive inverters and timing-checked
+// flops sample the noisy rail, and measurements complete when the FSM's
+// capture strobe fires. Nothing behavioral remains in the measurement path —
+// the behavioral NoiseThermometer is only used to cross-validate the result.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/fsm_netlist.h"
+#include "core/system_builder.h"
+#include "core/thermometer.h"
+
+namespace psnt::core {
+
+class FullStructuralSystem {
+ public:
+  struct Config {
+    Picoseconds control_period{1250.0};
+    DelayCode code{3};
+    SensePolarity polarity = SensePolarity::kHighSense;
+    analog::FlipFlopTimingModel control_ff{};
+  };
+
+  FullStructuralSystem(sim::Simulator& sim, const std::string& name,
+                       const SensorArray& array, const PulseGenerator& pg,
+                       analog::RailPair rails, Config config);
+
+  // Runs complete measure transactions by clocking the FSM netlist with
+  // enable held high; returns one word per completed SENSE capture.
+  // `configure_first` loads the config's delay code through INIT before the
+  // first PREPARE (otherwise the power-on code 000 is used by the FSM, while
+  // the PG tap is hard-selected by config.code — keep them equal).
+  std::vector<ThermoWord> run_measures(std::size_t count,
+                                       bool configure_first = true);
+
+  [[nodiscard]] StructuralControlFsm& fsm() { return fsm_; }
+  [[nodiscard]] StructuralSensor& sensor() { return sensor_; }
+  [[nodiscard]] Picoseconds now() const { return sim_.now(); }
+
+ private:
+  void clock_one_cycle();
+
+  sim::Simulator& sim_;
+  Config config_;
+  StructuralControlFsm fsm_;
+  StructuralSensor sensor_;
+  double t_ = 0.0;
+};
+
+}  // namespace psnt::core

@@ -1,0 +1,51 @@
+#include "core/interleave.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+InterleavedSampler::InterleavedSampler(std::vector<NoiseThermometer> ways)
+    : ways_(std::move(ways)) {
+  PSNT_CHECK(!ways_.empty(), "need at least one way");
+  for (const auto& w : ways_) {
+    PSNT_CHECK(w.config().control_period.value() ==
+                   ways_.front().config().control_period.value(),
+               "interleaved ways must share the control clock");
+  }
+}
+
+Picoseconds InterleavedSampler::effective_period() const {
+  const double transaction =
+      6.0 * ways_.front().config().control_period.value();
+  return Picoseconds{transaction / static_cast<double>(ways_.size())};
+}
+
+std::vector<Measurement> InterleavedSampler::capture(
+    const analog::RailPair& rails, Picoseconds start, std::size_t count,
+    DelayCode code) {
+  PSNT_CHECK(count > 0, "need at least one sample");
+  const double way_period =
+      6.0 * ways_.front().config().control_period.value();
+  const double stagger = effective_period().value();
+
+  std::vector<Measurement> all;
+  all.reserve(count);
+  // Round-robin: sample s is taken by way (s mod N) in its (s div N)-th
+  // transaction slot.
+  for (std::size_t s = 0; s < count; ++s) {
+    const std::size_t way = s % ways_.size();
+    const auto slot = static_cast<double>(s / ways_.size());
+    const Picoseconds t{start.value() + stagger * static_cast<double>(way) +
+                        way_period * slot};
+    all.push_back(ways_[way].measure_vdd(rails, t, code));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const Measurement& a, const Measurement& b) {
+              return a.timestamp < b.timestamp;
+            });
+  return all;
+}
+
+}  // namespace psnt::core

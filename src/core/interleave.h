@@ -1,0 +1,41 @@
+// Time-interleaved sampling across replicated sensor arrays.
+//
+// One array completes a measure every 6 control cycles; the paper makes
+// arrays cheap to replicate ("the sensor arrays can be multiplied"), so N
+// arrays launched with staggered starts multiply the effective sample rate
+// by N — the standard interleaved-ADC trick, and the missing piece for
+// reconstructing noise tones near or above a single array's Nyquist rate
+// (ablation A13).
+#pragma once
+
+#include <vector>
+
+#include "analog/rail.h"
+#include "core/thermometer.h"
+
+namespace psnt::core {
+
+class InterleavedSampler {
+ public:
+  // Takes ownership of `ways` identical thermometers.
+  explicit InterleavedSampler(std::vector<NoiseThermometer> ways);
+
+  [[nodiscard]] std::size_t ways() const { return ways_.size(); }
+
+  // Effective sampling period when each way runs back-to-back transactions:
+  // transaction time / N.
+  [[nodiscard]] Picoseconds effective_period() const;
+
+  // Collects `count` measurements starting at `start`: way k measures at
+  // start + k*effective_period + m*way_period. Results are returned in
+  // timestamp order.
+  [[nodiscard]] std::vector<Measurement> capture(const analog::RailPair& rails,
+                                                 Picoseconds start,
+                                                 std::size_t count,
+                                                 DelayCode code);
+
+ private:
+  std::vector<NoiseThermometer> ways_;
+};
+
+}  // namespace psnt::core

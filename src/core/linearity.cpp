@@ -1,0 +1,90 @@
+#include "core/linearity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+LinearityReport analyze_linearity(const SensorArray& array,
+                                  const PulseGenerator& pg, DelayCode code) {
+  const auto thr = array.sorted_thresholds(pg.skew(code));
+  PSNT_CHECK(thr.size() >= 3, "linearity needs at least three thresholds");
+
+  LinearityReport report;
+  const auto steps = static_cast<double>(thr.size() - 1);
+  const double lsb = (thr.back() - thr.front()).value() / steps;
+  PSNT_CHECK(lsb > 0.0, "degenerate threshold ladder");
+  report.lsb_ideal_mv = lsb * 1000.0;
+
+  for (std::size_t i = 0; i + 1 < thr.size(); ++i) {
+    const double step = (thr[i + 1] - thr[i]).value();
+    const double dnl = step / lsb - 1.0;
+    report.dnl_lsb.push_back(dnl);
+    report.max_abs_dnl = std::max(report.max_abs_dnl, std::fabs(dnl));
+  }
+  for (std::size_t i = 0; i < thr.size(); ++i) {
+    const double ideal =
+        thr.front().value() + lsb * static_cast<double>(i);
+    const double inl = (thr[i].value() - ideal) / lsb;
+    report.inl_lsb.push_back(inl);
+    report.max_abs_inl = std::max(report.max_abs_inl, std::fabs(inl));
+  }
+  return report;
+}
+
+MonteCarloLinearity monte_carlo_linearity(
+    const analog::AlphaPowerDelayModel& nominal_inverter,
+    const analog::FlipFlopTimingModel& flipflop,
+    const std::vector<Picofarad>& loads, const PulseGenerator& pg,
+    DelayCode code, std::size_t trials, std::uint64_t seed,
+    const analog::MismatchParams& mismatch) {
+  PSNT_CHECK(trials > 0, "need at least one Monte-Carlo trial");
+  stats::Xoshiro256 rng(seed);
+
+  std::vector<double> max_dnls;
+  std::vector<double> max_inls;
+  max_dnls.reserve(trials);
+  max_inls.reserve(trials);
+  std::size_t under_half_lsb = 0;
+
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    std::vector<SensorCell> cells;
+    cells.reserve(loads.size());
+    for (const Picofarad load : loads) {
+      cells.emplace_back(
+          analog::apply_mismatch(nominal_inverter, mismatch, rng), flipflop,
+          load);
+    }
+    const SensorArray noisy{std::move(cells)};
+    const LinearityReport rep = analyze_linearity(noisy, pg, code);
+    max_dnls.push_back(rep.max_abs_dnl);
+    max_inls.push_back(rep.max_abs_inl);
+    if (rep.max_abs_dnl < 0.5) ++under_half_lsb;
+  }
+
+  auto mean = [](const std::vector<double>& xs) {
+    double acc = 0.0;
+    for (double x : xs) acc += x;
+    return acc / static_cast<double>(xs.size());
+  };
+  auto p95 = [](std::vector<double> xs) {
+    std::sort(xs.begin(), xs.end());
+    const auto idx = static_cast<std::size_t>(
+        0.95 * static_cast<double>(xs.size() - 1) + 0.5);
+    return xs[idx];
+  };
+
+  MonteCarloLinearity out;
+  out.trials = trials;
+  out.mean_max_abs_dnl = mean(max_dnls);
+  out.mean_max_abs_inl = mean(max_inls);
+  out.p95_max_abs_dnl = p95(max_dnls);
+  out.p95_max_abs_inl = p95(max_inls);
+  out.yield_half_lsb =
+      static_cast<double>(under_half_lsb) / static_cast<double>(trials);
+  return out;
+}
+
+}  // namespace psnt::core

@@ -1,0 +1,55 @@
+// Converter-style linearity metrology for the thermometer (INL / DNL).
+//
+// The sensor is "in principle similar to a flash A/D converter" (Sec. III-A),
+// so the standard converter metrics apply:
+//   DNL[i] = (thr[i+1] - thr[i]) / LSB_ideal - 1      (per step, in LSB)
+//   INL[i] = (thr[i] - thr_ideal[i]) / LSB_ideal      (per code edge, in LSB)
+// with the ideal transfer the equal-spaced line between the first and last
+// thresholds. Monte-Carlo over within-die mismatch yields the yield-style
+// percentile bands a converter datasheet would quote.
+#pragma once
+
+#include <vector>
+
+#include "analog/process.h"
+#include "core/pulse_gen.h"
+#include "core/sensor_array.h"
+#include "stats/rng.h"
+
+namespace psnt::core {
+
+struct LinearityReport {
+  double lsb_ideal_mv = 0.0;
+  std::vector<double> dnl_lsb;  // bits-1 entries
+  std::vector<double> inl_lsb;  // bits entries (ends are 0 by construction)
+  double max_abs_dnl = 0.0;
+  double max_abs_inl = 0.0;
+};
+
+// Linearity of one concrete array at one delay code.
+[[nodiscard]] LinearityReport analyze_linearity(const SensorArray& array,
+                                                const PulseGenerator& pg,
+                                                DelayCode code);
+
+struct MonteCarloLinearity {
+  std::size_t trials = 0;
+  // Across trials:
+  double mean_max_abs_dnl = 0.0;
+  double p95_max_abs_dnl = 0.0;
+  double mean_max_abs_inl = 0.0;
+  double p95_max_abs_inl = 0.0;
+  // Fraction of trials whose worst DNL stays under half an LSB (the classic
+  // no-missing-codes criterion analogue).
+  double yield_half_lsb = 0.0;
+};
+
+// Re-draws every cell's inverter with mismatch `trials` times and aggregates
+// the linearity statistics. Deterministic for a given seed.
+[[nodiscard]] MonteCarloLinearity monte_carlo_linearity(
+    const analog::AlphaPowerDelayModel& nominal_inverter,
+    const analog::FlipFlopTimingModel& flipflop,
+    const std::vector<Picofarad>& loads, const PulseGenerator& pg,
+    DelayCode code, std::size_t trials, std::uint64_t seed,
+    const analog::MismatchParams& mismatch = {});
+
+}  // namespace psnt::core

@@ -1,0 +1,48 @@
+#include "core/pulse_gen.h"
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+const std::array<Picoseconds, DelayCode::kCount>& paper_delay_table() {
+  static const std::array<Picoseconds, DelayCode::kCount> kTable = {
+      Picoseconds{26.0},  Picoseconds{40.0}, Picoseconds{50.0},
+      Picoseconds{65.0},  Picoseconds{77.0}, Picoseconds{92.0},
+      Picoseconds{100.0}, Picoseconds{107.0}};
+  return kTable;
+}
+
+PulseGenerator::PulseGenerator(Config config) : config_(config) {
+  for (std::size_t i = 1; i < config_.cp_delay.size(); ++i) {
+    PSNT_CHECK(config_.cp_delay[i] > config_.cp_delay[i - 1],
+               "delay table must be strictly increasing");
+  }
+  PSNT_CHECK(config_.common_path.value() >= 0.0,
+             "common path delay must be non-negative");
+  PSNT_CHECK(config_.cp_insertion.value() >= 0.0,
+             "CP insertion delay must be non-negative");
+}
+
+Picoseconds PulseGenerator::p_delay() const { return config_.common_path; }
+
+Picoseconds PulseGenerator::cp_delay(DelayCode code) const {
+  return config_.common_path + config_.cp_insertion +
+         config_.cp_delay[code.value()] + config_.routing_skew;
+}
+
+Picoseconds PulseGenerator::skew(DelayCode code) const {
+  return cp_delay(code) - p_delay();
+}
+
+std::vector<Picoseconds> PulseGenerator::delay_line_stages() const {
+  std::vector<Picoseconds> stages;
+  stages.reserve(config_.cp_delay.size());
+  Picoseconds prev{0.0};
+  for (const Picoseconds d : config_.cp_delay) {
+    stages.push_back(d - prev);
+    prev = d;
+  }
+  return stages;
+}
+
+}  // namespace psnt::core

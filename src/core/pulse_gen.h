@@ -1,0 +1,68 @@
+// Pulse generator (PG, Fig. 7): produces the P / CP pair with a trimmed skew.
+//
+// Structurally the PG is two matched paths: the P path goes through a MUX
+// (for skew cancellation) only; the CP path goes through a tapped delay line
+// whose tap is selected by the same MUX type. Because the MUX appears in both
+// paths, the *relative* P→CP skew equals the delay-line tap alone — the
+// property the paper calls out ("the same MUX is also used for the P signal,
+// so that P and CP are skewed of the same value").
+//
+// Behaviourally the PG is the paper's Delay Code table:
+//   code      000 001 010 011 100 101 110 111
+//   CP delay   26  40  50  65  77  92 100 107  [ps]
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/measurement.h"
+#include "util/units.h"
+
+namespace psnt::core {
+
+// The paper's table (Sec. III-B).
+[[nodiscard]] const std::array<Picoseconds, DelayCode::kCount>&
+paper_delay_table();
+
+class PulseGenerator {
+ public:
+  struct Config {
+    std::array<Picoseconds, DelayCode::kCount> cp_delay = paper_delay_table();
+    // Shared-path delay (MUX + routing) present on BOTH P and CP; it shifts
+    // when the measure happens, not the skew.
+    Picoseconds common_path{120.0};
+    // Fixed insertion delay of the CP branch beyond the P branch (the delay
+    // line's entry buffering before tap 0). The paper's table lists the
+    // programmable tap values; the effective P→CP skew is insertion + tap.
+    // This value is fitted by src/calib against the paper's Fig. 5 ranges.
+    Picoseconds cp_insertion{93.0};
+    // Residual routing mismatch between P and CP ("the skew between them must
+    // be accurately checked"): adds to the effective skew. Zero when the
+    // differential-pair routing rule is respected.
+    Picoseconds routing_skew{0.0};
+  };
+
+  PulseGenerator() : PulseGenerator(Config{}) {}
+  explicit PulseGenerator(Config config);
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+  // P edge launch time relative to the controller's command.
+  [[nodiscard]] Picoseconds p_delay() const;
+  // CP edge time relative to the controller's command.
+  [[nodiscard]] Picoseconds cp_delay(DelayCode code) const;
+  // The quantity the sensor cares about: CP time minus P time.
+  [[nodiscard]] Picoseconds skew(DelayCode code) const;
+
+  // Per-stage increments realising the table as a tapped delay line: stage k
+  // delay = table[k] - table[k-1] (stage 0 = table[0]). Requires the table to
+  // be strictly increasing.
+  [[nodiscard]] std::vector<Picoseconds> delay_line_stages() const;
+
+  void set_routing_skew(Picoseconds skew) { config_.routing_skew = skew; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace psnt::core

@@ -1,0 +1,47 @@
+#include "core/range_tuner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+namespace {
+
+TuneResult search_codes(const SensorArray& array, const PulseGenerator& pg,
+                        Volt target_lo, Volt target_hi) {
+  TuneResult best;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (std::uint8_t c = 0; c < DelayCode::kCount; ++c) {
+    const DelayCode code{c};
+    const DynamicRange range = array.dynamic_range(pg.skew(code));
+    const double err =
+        std::fabs(range.all_errors_below.value() - target_lo.value()) +
+        std::fabs(range.no_errors_above.value() - target_hi.value());
+    if (err < best_error) {
+      best_error = err;
+      best.code = code;
+      best.range = range;
+      best.window_error = err;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+TuneResult tune_for_window(const SensorArray& array, const PulseGenerator& pg,
+                           Volt lo, Volt hi) {
+  PSNT_CHECK(hi > lo, "target window must be non-empty");
+  return search_codes(array, pg, lo, hi);
+}
+
+TuneResult compensate_corner(const SensorArray& corner_array,
+                             const PulseGenerator& pg,
+                             const DynamicRange& reference) {
+  return search_codes(corner_array, pg, reference.all_errors_below,
+                      reference.no_errors_above);
+}
+
+}  // namespace psnt::core

@@ -1,0 +1,37 @@
+// Dynamic-range tuning and process-variation compensation (Sec. III-A).
+//
+// "a variation of P and CP, conveniently trimmed, allows to dynamically
+//  change the multibit sensor dynamic, or to compensate the different sensor
+//  behavior in presence of process variations"
+//
+// Both tasks reduce to searching the 8 delay codes for the one whose
+// threshold window best matches a target window:
+//   * tune_for_window   — target given by the user (e.g. "watch 0.90–1.05 V")
+//   * compensate_corner — target is the TT-corner window at a reference code,
+//     searched against the corner-afflicted array.
+#pragma once
+
+#include "core/pulse_gen.h"
+#include "core/sensor_array.h"
+
+namespace psnt::core {
+
+struct TuneResult {
+  DelayCode code;
+  DynamicRange range;
+  // Sum of the distances between achieved and requested window edges (V).
+  double window_error = 0.0;
+};
+
+// Picks the code whose dynamic range covers [lo, hi] most tightly.
+[[nodiscard]] TuneResult tune_for_window(const SensorArray& array,
+                                         const PulseGenerator& pg, Volt lo,
+                                         Volt hi);
+
+// Picks the code that makes `corner_array` reproduce `reference` (typically
+// the TT range at the paper's default code) as closely as possible.
+[[nodiscard]] TuneResult compensate_corner(const SensorArray& corner_array,
+                                           const PulseGenerator& pg,
+                                           const DynamicRange& reference);
+
+}  // namespace psnt::core

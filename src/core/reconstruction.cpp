@@ -1,0 +1,62 @@
+#include "core/reconstruction.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+psn::Waveform reconstruct_waveform(
+    const std::vector<Measurement>& measurements, Picoseconds period) {
+  PSNT_CHECK(measurements.size() >= 2, "need at least two measurements");
+  PSNT_CHECK(period.value() > 0.0, "period must be positive");
+  for (std::size_t i = 1; i < measurements.size(); ++i) {
+    PSNT_CHECK(measurements[i].timestamp > measurements[i - 1].timestamp,
+               "measurement timestamps must ascend");
+  }
+
+  const Picoseconds start = measurements.front().timestamp;
+  const Picoseconds end = measurements.back().timestamp;
+  const auto n = static_cast<std::size_t>(
+                     (end - start).value() / period.value()) + 1;
+
+  std::vector<double> samples(n);
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Picoseconds t{start.value() +
+                        period.value() * static_cast<double>(i)};
+    while (m + 1 < measurements.size() &&
+           measurements[m + 1].timestamp <= t) {
+      ++m;
+    }
+    samples[i] = measurements[m].bin.estimate().value();
+  }
+  return psn::Waveform{start, period, std::move(samples)};
+}
+
+ReconstructionError reconstruction_error(
+    const std::vector<Measurement>& measurements,
+    const psn::Waveform& truth) {
+  PSNT_CHECK(!measurements.empty(), "no measurements to evaluate");
+  ReconstructionError err;
+  double acc = 0.0, acc2 = 0.0;
+  std::size_t bracketed = 0;
+  for (const auto& m : measurements) {
+    const double v_true = truth.value_at(m.timestamp);
+    const double e = (m.bin.estimate().value() - v_true) * 1000.0;
+    acc += std::fabs(e);
+    acc2 += e * e;
+    err.max_abs_mv = std::max(err.max_abs_mv, std::fabs(e));
+    const bool lo_ok = !m.bin.lo || m.bin.lo->value() <= v_true + 1e-9;
+    const bool hi_ok = !m.bin.hi || m.bin.hi->value() > v_true - 1e-9;
+    if (lo_ok && hi_ok) ++bracketed;
+  }
+  const auto n = static_cast<double>(measurements.size());
+  err.mean_abs_mv = acc / n;
+  err.rms_mv = std::sqrt(acc2 / n);
+  err.bracket_rate = static_cast<double>(bracketed) / n;
+  return err;
+}
+
+}  // namespace psnt::core

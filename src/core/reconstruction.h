@@ -1,0 +1,36 @@
+// Waveform reconstruction from iterated measurements.
+//
+// The verification flow of the paper's Sec. III-B: iterate measures across
+// the CUT transient, then rebuild the rail trajectory from the decoded bins.
+// The reconstruction is the bin-midpoint staircase resampled onto a uniform
+// grid; against a known ground truth it also reports the error statistics
+// that bound the method (quantisation ± half LSB plus sampling aliasing).
+#pragma once
+
+#include <vector>
+
+#include "core/measurement.h"
+#include "psn/waveform.h"
+
+namespace psnt::core {
+
+struct ReconstructionError {
+  double mean_abs_mv = 0.0;
+  double max_abs_mv = 0.0;
+  double rms_mv = 0.0;
+  // Fraction of samples whose decoded bin bracketed the true value.
+  double bracket_rate = 1.0;
+};
+
+// Builds a uniformly sampled waveform from the measurement estimates,
+// holding each estimate until the next sample (zero-order hold at the
+// measurement cadence, resampled at `period`). Requires >= 2 measurements
+// with ascending timestamps.
+[[nodiscard]] psn::Waveform reconstruct_waveform(
+    const std::vector<Measurement>& measurements, Picoseconds period);
+
+// Compares measurements against the true rail waveform.
+[[nodiscard]] ReconstructionError reconstruction_error(
+    const std::vector<Measurement>& measurements, const psn::Waveform& truth);
+
+}  // namespace psnt::core

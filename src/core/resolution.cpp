@@ -1,0 +1,62 @@
+#include "core/resolution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+ResolutionReport analyze_resolution(const SensorArray& array,
+                                    const PulseGenerator& pg,
+                                    DelayCode code) {
+  ResolutionReport report;
+  report.code = code;
+  const auto thresholds = array.thresholds(pg.skew(code));
+  report.range = DynamicRange{thresholds.front(), thresholds.back()};
+  report.lsb_mv.reserve(thresholds.size() - 1);
+  for (std::size_t i = 1; i < thresholds.size(); ++i) {
+    report.lsb_mv.push_back(
+        (thresholds[i] - thresholds[i - 1]).value() * 1000.0);
+  }
+  PSNT_CHECK(!report.lsb_mv.empty(), "array needs at least two bits");
+  report.mean_lsb_mv =
+      std::accumulate(report.lsb_mv.begin(), report.lsb_mv.end(), 0.0) /
+      static_cast<double>(report.lsb_mv.size());
+  report.worst_lsb_mv =
+      *std::max_element(report.lsb_mv.begin(), report.lsb_mv.end());
+  report.best_lsb_mv =
+      *std::min_element(report.lsb_mv.begin(), report.lsb_mv.end());
+  return report;
+}
+
+SkewSensitivity analyze_skew_sensitivity(const SensorArray& array,
+                                         const PulseGenerator& pg,
+                                         DelayCode code) {
+  SkewSensitivity out;
+  out.code = code;
+
+  const Picoseconds d_skew{1.0};
+  const auto base = array.thresholds(pg.skew(code));
+  const auto shifted = array.thresholds(pg.skew(code) + d_skew);
+
+  // Per-bit shift; use the mid-array bit for the headline number.
+  const std::size_t mid = base.size() / 2;
+  out.mv_per_ps = (shifted[mid] - base[mid]).value() * 1000.0;
+
+  // Worst-case per-ps shift across bits bounds the budget.
+  double worst_shift_mv_per_ps = 0.0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    worst_shift_mv_per_ps =
+        std::max(worst_shift_mv_per_ps,
+                 std::fabs((shifted[i] - base[i]).value()) * 1000.0);
+  }
+  const ResolutionReport res = analyze_resolution(array, pg, code);
+  PSNT_CHECK(worst_shift_mv_per_ps > 0.0, "degenerate skew sensitivity");
+  out.half_lsb_budget =
+      Picoseconds{(res.best_lsb_mv / 2.0) / worst_shift_mv_per_ps};
+  return out;
+}
+
+}  // namespace psnt::core

@@ -1,0 +1,51 @@
+// Resolution and sensitivity characterization of a sensor array.
+//
+// Two questions the paper raises but does not quantify:
+//
+//  1. What is the converter's resolution? The thermometer's LSB is the gap
+//     between adjacent thresholds — not constant across the window, and it
+//     scales with the delay code.
+//  2. How accurate must the P/CP routing be? "P and CP require also an
+//     accurate routing as they were a differential pair ... the skew between
+//     them must be accurately checked." A residual routing skew shifts every
+//     threshold by dV/dskew; this module computes that sensitivity and the
+//     skew budget that keeps the shift under half an LSB.
+#pragma once
+
+#include <vector>
+
+#include "core/pulse_gen.h"
+#include "core/sensor_array.h"
+
+namespace psnt::core {
+
+struct ResolutionReport {
+  DelayCode code;
+  DynamicRange range;
+  std::vector<double> lsb_mv;   // bits-1 gaps between adjacent thresholds
+  double mean_lsb_mv = 0.0;
+  double worst_lsb_mv = 0.0;    // largest gap (coarsest region)
+  double best_lsb_mv = 0.0;     // smallest gap (finest region)
+};
+
+// Threshold-gap analysis at one delay code.
+[[nodiscard]] ResolutionReport analyze_resolution(const SensorArray& array,
+                                                  const PulseGenerator& pg,
+                                                  DelayCode code);
+
+struct SkewSensitivity {
+  DelayCode code;
+  // Mid-array threshold shift per ps of residual P→CP routing skew (mV/ps).
+  // Positive skew gives the DS edge more time, lowering thresholds, so this
+  // is negative.
+  double mv_per_ps = 0.0;
+  // Largest |skew| that keeps every threshold within half an LSB of its
+  // nominal value.
+  Picoseconds half_lsb_budget{0.0};
+};
+
+// Finite-difference sensitivity of the array thresholds to routing skew.
+[[nodiscard]] SkewSensitivity analyze_skew_sensitivity(
+    const SensorArray& array, const PulseGenerator& pg, DelayCode code);
+
+}  // namespace psnt::core

@@ -1,0 +1,39 @@
+#include "core/sensor_cell.h"
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+SensorCell::SensorCell(analog::AlphaPowerDelayModel inverter,
+                       analog::FlipFlopTimingModel flipflop, Picofarad c_load)
+    : inverter_(std::move(inverter)),
+      flipflop_(std::move(flipflop)),
+      c_load_(c_load) {
+  PSNT_CHECK(c_load_.value() >= 0.0, "negative DS load capacitance");
+}
+
+CellSample SensorCell::sense(Volt v_eff, Picoseconds skew) const {
+  CellSample s;
+  s.ds_arrival = inverter_.delay(v_eff, c_load_);
+  // PREPARE left Q at the complement (old=false); SENSE expects true. The
+  // same math serves GND sensing because the array normalises the GND case
+  // to an effective overdrive voltage before calling in.
+  s.ff = flipflop_.sample(s.ds_arrival, skew, /*new_value=*/true,
+                          /*old_value=*/false);
+  s.correct = s.ff.captured_value;
+  return s;
+}
+
+Picoseconds SensorCell::margin(Volt v_eff, Picoseconds skew) const {
+  return flipflop_.setup_margin(inverter_.delay(v_eff, c_load_), skew);
+}
+
+Picoseconds SensorCell::budget(Picoseconds skew) const {
+  return skew - flipflop_.params().t_setup;
+}
+
+std::optional<Volt> SensorCell::threshold(Picoseconds skew, Volt v_max) const {
+  return inverter_.threshold_supply(c_load_, budget(skew), v_max);
+}
+
+}  // namespace psnt::core

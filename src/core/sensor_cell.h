@@ -1,0 +1,65 @@
+// Single-bit noise sensor (Fig. 1 left) — behavioral model.
+//
+// One sense inverter (powered by the rail under measurement) driving a
+// loaded DS node into a nominally-powered flip-flop. With the P edge at local
+// time 0 and the CP edge at `skew` (from the pulse generator):
+//
+//   DS arrival  = t_inv(v_eff, C)
+//   sample      = FF.sample(arrival, skew, new=expected, old=prepare value)
+//   OUT bit     = (captured == expected)        "1" = no error
+//
+// The *threshold* of the cell is the v_eff at which the DS arrival exactly
+// meets the FF setup deadline; below it the sample fails. Threshold grows
+// with C (Fig. 4) and falls with skew (Fig. 5's per-code ranges).
+#pragma once
+
+#include <optional>
+
+#include "analog/flipflop_model.h"
+#include "analog/supply_delay_model.h"
+#include "util/units.h"
+
+namespace psnt::core {
+
+struct CellSample {
+  bool correct = false;                 // the OUT bit
+  analog::SampleOutcome ff;             // raw flip-flop outcome
+  Picoseconds ds_arrival{0.0};          // inverter output settle time
+};
+
+class SensorCell {
+ public:
+  SensorCell(analog::AlphaPowerDelayModel inverter,
+             analog::FlipFlopTimingModel flipflop, Picofarad c_load);
+
+  [[nodiscard]] Picofarad c_load() const { return c_load_; }
+  [[nodiscard]] const analog::AlphaPowerDelayModel& inverter() const {
+    return inverter_;
+  }
+  [[nodiscard]] const analog::FlipFlopTimingModel& flipflop() const {
+    return flipflop_;
+  }
+
+  // One SENSE evaluation at effective supply `v_eff` with CP `skew` ps after
+  // the P edge. The PREPARE phase guarantees the FF holds the complement of
+  // the expected value beforehand, so a setup violation reads as an error.
+  [[nodiscard]] CellSample sense(Volt v_eff, Picoseconds skew) const;
+
+  // Setup margin at the given operating point (positive = passes).
+  [[nodiscard]] Picoseconds margin(Volt v_eff, Picoseconds skew) const;
+
+  // The failure-threshold voltage for this skew: v_eff below it → error.
+  // nullopt if the cell cannot fail (or cannot pass) within (Vt, v_max].
+  [[nodiscard]] std::optional<Volt> threshold(
+      Picoseconds skew, Volt v_max = Volt{2.0}) const;
+
+  // Setup-deadline budget the DS transition must meet for this skew.
+  [[nodiscard]] Picoseconds budget(Picoseconds skew) const;
+
+ private:
+  analog::AlphaPowerDelayModel inverter_;
+  analog::FlipFlopTimingModel flipflop_;
+  Picofarad c_load_;
+};
+
+}  // namespace psnt::core

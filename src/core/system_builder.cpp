@@ -1,0 +1,185 @@
+#include "core/system_builder.h"
+
+#include "sim/gates.h"
+#include "util/error.h"
+
+namespace psnt::core {
+
+ThermoWord StructuralSensor::read_word() const {
+  // HIGH-SENSE expects the FF to have caught DS rising (Q=1); LOW-SENSE
+  // expects it to have caught DS falling (Q=0). Either way an X is an error.
+  const sim::Logic expected = polarity == SensePolarity::kHighSense
+                                  ? sim::Logic::L1
+                                  : sim::Logic::L0;
+  ThermoWord word{0, out.size()};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    word.set_bit(i, out[i]->value() == expected);
+  }
+  return word;
+}
+
+namespace {
+
+// Builds a 3-level 8:1 MUX tree over `taps` with select nets s0..s2
+// (s0 = LSB). Returns the tree's output net. Every level contributes
+// `mux_delay`.
+sim::Net& build_mux_tree(sim::Simulator& sim, const std::string& name,
+                         const std::vector<sim::Net*>& taps,
+                         sim::Net& s0, sim::Net& s1, sim::Net& s2,
+                         Picoseconds mux_delay) {
+  PSNT_CHECK(taps.size() == 8, "MUX tree expects 8 taps");
+  // Level 0: pairs selected by s0.
+  std::vector<sim::Net*> level0;
+  for (int k = 0; k < 4; ++k) {
+    sim::Net& y = sim.net(name + ".l0_" + std::to_string(k));
+    sim.add<sim::Mux2Gate>(name + ".mux0_" + std::to_string(k),
+                           *taps[static_cast<std::size_t>(2 * k)],
+                           *taps[static_cast<std::size_t>(2 * k + 1)], s0, y,
+                           mux_delay);
+    level0.push_back(&y);
+  }
+  // Level 1: pairs selected by s1.
+  std::vector<sim::Net*> level1;
+  for (int k = 0; k < 2; ++k) {
+    sim::Net& y = sim.net(name + ".l1_" + std::to_string(k));
+    sim.add<sim::Mux2Gate>(name + ".mux1_" + std::to_string(k),
+                           *level0[static_cast<std::size_t>(2 * k)],
+                           *level0[static_cast<std::size_t>(2 * k + 1)], s1, y,
+                           mux_delay);
+    level1.push_back(&y);
+  }
+  // Level 2: selected by s2.
+  sim::Net& y = sim.net(name + ".l2");
+  sim.add<sim::Mux2Gate>(name + ".mux2", *level1[0], *level1[1], s2, y,
+                         mux_delay);
+  return y;
+}
+
+}  // namespace
+
+StructuralSensor build_structural_sensor(sim::Simulator& sim,
+                                         const std::string& name,
+                                         const SensorArray& array,
+                                         const PulseGenerator& pg,
+                                         DelayCode code,
+                                         analog::RailPair rails,
+                                         BuilderOptions options) {
+  StructuralSensor s;
+  s.polarity = options.polarity;
+  s.p_cmd = &sim.net(name + ".p_cmd");
+  s.cp_cmd = &sim.net(name + ".cp_cmd");
+
+  // Select nets tied to the delay code.
+  sim::Net& s0 = sim.net(name + ".sel0");
+  sim::Net& s1 = sim.net(name + ".sel1");
+  sim::Net& s2 = sim.net(name + ".sel2");
+  sim.drive(s0, Picoseconds{0.0},
+            sim::from_bool((code.value() >> 0) & 1));
+  sim.drive(s1, Picoseconds{0.0},
+            sim::from_bool((code.value() >> 1) & 1));
+  sim.drive(s2, Picoseconds{0.0},
+            sim::from_bool((code.value() >> 2) & 1));
+
+  // Common input buffering (present on both paths).
+  sim::Net& p_buf = sim.net(name + ".p_buf");
+  sim::Net& cp_buf = sim.net(name + ".cp_buf");
+  sim.add<sim::BufGate>(name + ".buf_p", *s.p_cmd, p_buf,
+                        pg.config().common_path);
+  sim.add<sim::BufGate>(name + ".buf_cp", *s.cp_cmd, cp_buf,
+                        pg.config().common_path);
+
+  // CP branch: insertion buffer + tapped delay line + MUX tree.
+  sim::Net& cp_ins = sim.net(name + ".cp_ins");
+  sim.add<sim::BufGate>(name + ".buf_ins", cp_buf, cp_ins,
+                        pg.config().cp_insertion);
+  auto& line = sim.add<sim::DelayLine>(name + ".dline", cp_ins,
+                                       pg.delay_line_stages());
+  std::vector<sim::Net*> taps;
+  for (std::size_t k = 0; k < 8; ++k) taps.push_back(&line.tap(k));
+  sim::Net& cp_out = build_mux_tree(sim, name + ".cpmux", taps, s0, s1, s2,
+                                    options.mux_delay);
+
+  // P branch: identical MUX tree with all inputs tied to the buffered P, so
+  // its delay matches the CP tree level-for-level (skew cancellation).
+  std::vector<sim::Net*> p_taps(8, &p_buf);
+  sim::Net& p_out = build_mux_tree(sim, name + ".pmux", p_taps, s0, s1, s2,
+                                   options.mux_delay);
+
+  s.p = &p_out;
+  s.cp = &cp_out;
+
+  // Sensor bits: supply-sensitive inverter into a timing-checked DFF.
+  for (std::size_t i = 0; i < array.bits(); ++i) {
+    const SensorCell& cell = array.cell(i);
+    sim::Net& ds = sim.net(name + ".ds" + std::to_string(i));
+    sim::Net& q = sim.net(name + ".out" + std::to_string(i));
+    auto& inv = sim.add<sim::SupplyInverter>(
+        name + ".inv" + std::to_string(i), p_out, ds, cell.inverter(), rails,
+        cell.c_load());
+    auto& dff = sim.add<sim::DFlipFlop>(name + ".ff" + std::to_string(i), ds,
+                                        cp_out, q, cell.flipflop());
+    s.ds.push_back(&ds);
+    s.out.push_back(&q);
+    s.inverters.push_back(&inv);
+    s.flipflops.push_back(&dff);
+  }
+  return s;
+}
+
+StructuralMeasureResult run_structural_measure(
+    sim::Simulator& sim, StructuralSensor& sensor, ControlFsm& fsm,
+    const PulseGenerator& pg, Picoseconds start, Picoseconds control_period,
+    DelayCode code) {
+  PSNT_CHECK(sim.now() <= start, "simulator already past the start time");
+
+  const bool needs_config = fsm.active_code() != code;
+  FsmInputs in;
+  in.enable = true;
+  in.configure = needs_config;
+  in.ext_code = code;
+
+  // Pre-compute the command schedule by stepping the deterministic FSM, then
+  // drive the command nets at each control edge.
+  // LOW-SENSE arrays receive the complementary P level: "the PREPARE and
+  // and SENSE conditions are opposite" (Sec. II).
+  const bool invert_p = sensor.polarity == SensePolarity::kLowSense;
+
+  Picoseconds t = start;
+  Picoseconds prepare_cmd_edge{0.0};
+  Picoseconds sense_cmd_edge{0.0};
+  bool prev_cp = false;
+  std::size_t guard = 0;
+  for (;;) {
+    const FsmOutputs out = fsm.step(in);
+    sim.drive(*sensor.p_cmd, t, sim::from_bool(out.p_level != invert_p));
+    sim.drive(*sensor.cp_cmd, t, sim::from_bool(out.cp_level));
+    if (!prev_cp && out.cp_level) {
+      if (fsm.state() == FsmState::kPrepareHigh) prepare_cmd_edge = t;
+      if (fsm.state() == FsmState::kSenseHigh) sense_cmd_edge = t;
+    }
+    prev_cp = out.cp_level;
+    if (out.capture_sense) break;
+    if (fsm.state() == FsmState::kPrepareLow) in.configure = false;
+    t += control_period;
+    PSNT_CHECK(++guard < 32, "FSM failed to reach the SENSE state");
+  }
+  // Park the command levels after the transaction.
+  const FsmOutputs final_out = fsm.step(FsmInputs{});
+  sim.drive(*sensor.p_cmd, t + control_period,
+            sim::from_bool(final_out.p_level != invert_p));
+  sim.drive(*sensor.cp_cmd, t + control_period,
+            sim::from_bool(final_out.cp_level));
+
+  // Run past the sampling edge plus the worst-case metastable clk-to-q.
+  const Picoseconds settle =
+      sensor.flipflops.front()->model().params().max_resolution;
+  sim.run_until(t + control_period + settle);
+
+  StructuralMeasureResult result;
+  result.word = sensor.read_word();
+  result.prepare_edge = prepare_cmd_edge + pg.cp_delay(code);
+  result.sense_edge = sense_cmd_edge + pg.cp_delay(code);
+  return result;
+}
+
+}  // namespace psnt::core

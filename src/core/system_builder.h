@@ -1,0 +1,84 @@
+// Structural (gate-level) instantiation of the sensor system.
+//
+// Builds, inside a sim::Simulator, the paper's Fig. 6/7 datapath for one
+// sensor array:
+//
+//   p_cmd ──BUF(common)──MUX₀──MUX₁──MUX₂────────────────► P ──► INV-i ─► DS-i
+//   cp_cmd ─BUF(common)──BUF(insertion)──[tapped delay line]──MUX tree ─► CP
+//                                                                │
+//   DS-i ──────────────────────────────► DFF-i (D)  ◄────────────┘ (clock)
+//
+// The CP branch carries the real tapped delay line of Fig. 7 with an 8:1 MUX
+// tree selected by the Delay Code; the P branch passes through an identical
+// MUX tree (inputs tied together) so the MUX delay cancels out of the P→CP
+// skew — the paper's skew-cancellation trick, reproduced structurally.
+//
+// The behavioral NoiseThermometer and this structural model are two
+// implementations of the same specification; the cross-validation tests and
+// bench A5 assert they agree.
+#pragma once
+
+#include <vector>
+
+#include "core/control_fsm.h"
+#include "core/pulse_gen.h"
+#include "core/sensor_array.h"
+#include "sim/delay_line.h"
+#include "sim/dff.h"
+#include "sim/simulator.h"
+#include "sim/supply_inverter.h"
+
+namespace psnt::core {
+
+// Which rail the structural array senses. For kLowSense the PREPARE and
+// SENSE conditions are opposite (paper Sec. II): the controller drives the
+// complementary P level, DS idles high and falls during SENSE, and a correct
+// sample is a captured 0.
+enum class SensePolarity { kHighSense, kLowSense };
+
+struct StructuralSensor {
+  SensePolarity polarity = SensePolarity::kHighSense;
+  sim::Net* p_cmd = nullptr;   // controller-side P command
+  sim::Net* cp_cmd = nullptr;  // controller-side CP command
+  sim::Net* p = nullptr;       // PG output driving the sense inverters
+  sim::Net* cp = nullptr;      // PG output clocking the FFs
+  std::vector<sim::Net*> ds;   // per-bit DS nodes
+  std::vector<sim::Net*> out;  // per-bit OUT (Q)
+  std::vector<sim::SupplyInverter*> inverters;
+  std::vector<sim::DFlipFlop*> flipflops;
+
+  // Assembles the thermometer word from the OUT nets: bit = "cell sampled
+  // the expected sense value" (1 for HIGH-SENSE, 0 for LOW-SENSE); X/Z read
+  // as error.
+  [[nodiscard]] ThermoWord read_word() const;
+};
+
+struct BuilderOptions {
+  // Per-level delay of the MUX tree (identical in both paths; cancels).
+  Picoseconds mux_delay{48.0};
+  SensePolarity polarity = SensePolarity::kHighSense;
+};
+
+// Instantiates the sensor datapath. `code` selects the delay-line tap via the
+// MUX select nets (tied constant for the run).
+[[nodiscard]] StructuralSensor build_structural_sensor(
+    sim::Simulator& sim, const std::string& name, const SensorArray& array,
+    const PulseGenerator& pg, DelayCode code, analog::RailPair rails,
+    BuilderOptions options = {});
+
+struct StructuralMeasureResult {
+  ThermoWord word;
+  Picoseconds sense_edge{0.0};   // CP rising edge of the SENSE phase
+  Picoseconds prepare_edge{0.0}; // CP rising edge of the PREPARE phase
+};
+
+// Drives one full PREPARE+SENSE transaction through `fsm`, scheduling the
+// p_cmd / cp_cmd levels the FSM emits each control cycle, runs the simulator
+// and returns the captured word. The simulator's current time must be at or
+// before `start`.
+[[nodiscard]] StructuralMeasureResult run_structural_measure(
+    sim::Simulator& sim, StructuralSensor& sensor, ControlFsm& fsm,
+    const PulseGenerator& pg, Picoseconds start, Picoseconds control_period,
+    DelayCode code);
+
+}  // namespace psnt::core

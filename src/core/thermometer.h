@@ -1,0 +1,97 @@
+// NoiseThermometer: the complete sensor system of Fig. 6.
+//
+// Owns the HIGH-SENSE array (VDD-n), the LOW-SENSE array (GND-n), the pulse
+// generator, the encoder and the control FSM. Two operating styles:
+//
+//  * one-shot `measure_*`   — runs a full PREPARE+SENSE transaction against a
+//    rail source at a given start time and returns the decoded Measurement.
+//    The effective supply seen by the sense inverters is evaluated at the
+//    sense launch instant (behavioral approximation of the analog transient;
+//    the structural simulator in core/system_builder removes even that
+//    approximation and is cross-validated against this path).
+//  * `iterate_*`            — repeats measures across a time window, the
+//    paper's method for capturing the CUT transient (Sec. III-B), returning
+//    the sampled noise trajectory.
+//
+// The FSM is stepped for every transaction, so measurement latency in control
+// cycles, busy flags and delay-code (re)configuration behave exactly as the
+// architecture described in the paper.
+#pragma once
+
+#include <vector>
+
+#include "analog/rail.h"
+#include "core/control_fsm.h"
+#include "core/encoder.h"
+#include "core/measurement.h"
+#include "core/pulse_gen.h"
+#include "core/sensor_array.h"
+
+namespace psnt::core {
+
+struct ThermometerConfig {
+  // Control/system clock of the CUT the sensor runs at. The paper's control
+  // critical path is 1.22 ns, so 800 MHz (1250 ps) is a comfortable choice.
+  Picoseconds control_period{1250.0};
+  // Nominal supply feeding the FFs, the control logic and the LOW-SENSE
+  // inverters.
+  Volt v_nominal{1.0};
+  BubblePolicy bubble_policy = BubblePolicy::kMajority;
+};
+
+class NoiseThermometer {
+ public:
+  NoiseThermometer(SensorArray high_sense, SensorArray low_sense,
+                   PulseGenerator pg, ThermometerConfig config);
+
+  [[nodiscard]] const SensorArray& high_sense() const { return high_sense_; }
+  [[nodiscard]] const SensorArray& low_sense() const { return low_sense_; }
+  [[nodiscard]] const PulseGenerator& pulse_generator() const { return pg_; }
+  [[nodiscard]] const ThermometerConfig& config() const { return config_; }
+  [[nodiscard]] const ControlFsm& fsm() const { return fsm_; }
+
+  // Number of control cycles one complete measure occupies (IDLE→…→done).
+  [[nodiscard]] std::size_t transaction_cycles() const;
+
+  // Full transaction measuring VDD-n. `vdd` (and optional `gnd`) are the
+  // noisy rails; `start` is when the controller leaves IDLE.
+  [[nodiscard]] Measurement measure_vdd(const analog::RailPair& rails,
+                                        Picoseconds start, DelayCode code);
+
+  // Full transaction measuring GND-n bounce: the LOW-SENSE inverters run from
+  // the nominal supply against the noisy ground.
+  [[nodiscard]] Measurement measure_gnd(const analog::RailSource& gnd,
+                                        Picoseconds start, DelayCode code);
+
+  // Iterated measures every `interval` starting at `start`.
+  [[nodiscard]] std::vector<Measurement> iterate_vdd(
+      const analog::RailPair& rails, Picoseconds start, Picoseconds interval,
+      std::size_t count, DelayCode code);
+  [[nodiscard]] std::vector<Measurement> iterate_gnd(
+      const analog::RailSource& gnd, Picoseconds start, Picoseconds interval,
+      std::size_t count, DelayCode code);
+
+  // Dynamic range of the HIGH-SENSE array at a code (Fig. 5's x-extent).
+  [[nodiscard]] DynamicRange vdd_range(DelayCode code) const;
+  // GND-n bounce range measurable at a code.
+  [[nodiscard]] DynamicRange gnd_range(DelayCode code) const;
+
+  // Encoder output for an arbitrary word (exposed for the scan chain).
+  [[nodiscard]] EncodedWord encode(const ThermoWord& word) const {
+    return encoder_.encode(word);
+  }
+
+ private:
+  // Steps the FSM from IDLE through one transaction; returns the absolute
+  // time of the S_SNS edge.
+  Picoseconds run_fsm_transaction(Picoseconds start, DelayCode code);
+
+  SensorArray high_sense_;
+  SensorArray low_sense_;
+  PulseGenerator pg_;
+  ThermometerConfig config_;
+  ControlFsm fsm_;
+  Encoder encoder_;
+};
+
+}  // namespace psnt::core

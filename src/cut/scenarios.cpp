@@ -1,0 +1,107 @@
+#include "cut/scenarios.h"
+
+#include "cut/activity.h"
+#include "stats/rng.h"
+#include "util/error.h"
+
+namespace psnt::cut {
+
+const char* to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kQuiet:
+      return "quiet";
+    case ScenarioKind::kFirstDroop:
+      return "first-droop";
+    case ScenarioKind::kResonantRipple:
+      return "resonant-ripple";
+    case ScenarioKind::kClockGating:
+      return "clock-gating";
+    case ScenarioKind::kPipelineWorkload:
+      return "pipeline-workload";
+  }
+  return "?";
+}
+
+std::vector<ScenarioKind> all_scenarios() {
+  return {ScenarioKind::kQuiet, ScenarioKind::kFirstDroop,
+          ScenarioKind::kResonantRipple, ScenarioKind::kClockGating,
+          ScenarioKind::kPipelineWorkload};
+}
+
+namespace {
+
+std::unique_ptr<psn::CurrentProfile> make_load(ScenarioKind kind,
+                                          const ScenarioConfig& config,
+                                          double f_res_ghz,
+                                          std::string& description) {
+  switch (kind) {
+    case ScenarioKind::kQuiet:
+      description = "leakage-only baseline: 1 A DC, pure IR drop";
+      return std::make_unique<psn::ConstantCurrent>(Ampere{1.0});
+    case ScenarioKind::kFirstDroop:
+      description = "1 A -> 3.5 A step at 50 ns: classic first droop";
+      return std::make_unique<psn::StepCurrent>(Ampere{1.0}, Ampere{3.5},
+                                           Picoseconds{50000.0});
+    case ScenarioKind::kResonantRipple:
+      description = "square-wave activity at the PDN resonant frequency";
+      return std::make_unique<psn::SquareWaveCurrent>(
+          Ampere{1.0}, Ampere{3.0}, Picoseconds{1000.0 / f_res_ghz}, 0.5);
+    case ScenarioKind::kClockGating: {
+      description = "clock gating: 200-cycle on/off bursts at 800 MHz";
+      const auto trace = cut::ActivityTrace::burst(
+          Picoseconds{1250.0},
+          static_cast<std::size_t>(config.horizon.value() / 1250.0) + 1, 400,
+          0.5, 0.05, 1.0);
+      return trace.to_current(Ampere{0.8}, Ampere{2.2});
+    }
+    case ScenarioKind::kPipelineWorkload: {
+      description = "5-stage pipeline instruction mix (stalls, flushes)";
+      cut::PipelineCut pipeline{cut::PipelineCut::Config{}};
+      stats::Xoshiro256 rng(config.seed);
+      const auto trace = pipeline.run(
+          static_cast<std::size_t>(config.horizon.value() / 1250.0) + 1, rng);
+      return trace.to_current(Ampere{0.8}, Ampere{2.2});
+    }
+  }
+  PSNT_CHECK(false, "unknown scenario kind");
+  return nullptr;
+}
+
+}  // namespace
+
+Scenario make_scenario(ScenarioKind kind, const ScenarioConfig& config) {
+  psn::LumpedPdnParams vdd_params;
+  vdd_params.v_reg = config.v_reg;
+  vdd_params.resistance = config.resistance;
+  vdd_params.inductance = config.inductance;
+  vdd_params.decap = config.decap;
+  psn::LumpedPdn vdd_net{vdd_params};
+
+  psn::LumpedPdnParams gnd_params = vdd_params;
+  gnd_params.polarity = psn::RailPolarity::kGroundBounce;
+  psn::LumpedPdn gnd_net{gnd_params};
+
+  Scenario scenario{kind,
+                    "",
+                    psn::Waveform::constant(Picoseconds{0.0}, config.dt, 2, 0.0),
+                    psn::Waveform::constant(Picoseconds{0.0}, config.dt, 2, 0.0),
+                    {},
+                    {}};
+  const auto load = make_load(kind, config, vdd_net.resonant_frequency_ghz(),
+                              scenario.description);
+
+  scenario.vdd = vdd_net.solve(*load, config.horizon, config.dt);
+  scenario.gnd = gnd_net.solve(*load, config.horizon, config.dt);
+
+  const double i0 = load->at(Picoseconds{0.0}).value();
+  scenario.vdd_metrics =
+      psn::analyze_droop(scenario.vdd,
+                    config.v_reg.value() - config.resistance.value() * i0,
+                    psn::RailPolarity::kSupplyDroop);
+  scenario.gnd_metrics = psn::analyze_droop(
+      scenario.gnd, config.resistance.value() * i0,
+      psn::RailPolarity::kGroundBounce);
+  return scenario;
+}
+
+}  // namespace psnt::cut

@@ -1,0 +1,57 @@
+// Canned noise scenarios: named, reproducible rail events for experiments.
+//
+// Each scenario bundles the PDN, the workload and the solved VDD-n / GND-n
+// waveforms for one of the canonical PSN stimuli the literature (and this
+// paper's references) analyse:
+//
+//   kFirstDroop       — di/dt step exciting the package/die resonance
+//   kResonantRipple   — square-wave activity at the PDN resonant frequency
+//   kClockGating      — deep burst pattern (gating on/off every N cycles)
+//   kPipelineWorkload — the 5-stage pipeline activity model (cut::)
+//   kQuiet            — leakage-only baseline (IR drop, no dynamic noise)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psn/pdn.h"
+#include "psn/waveform.h"
+
+namespace psnt::cut {
+
+enum class ScenarioKind {
+  kQuiet,
+  kFirstDroop,
+  kResonantRipple,
+  kClockGating,
+  kPipelineWorkload,
+};
+
+[[nodiscard]] const char* to_string(ScenarioKind kind);
+[[nodiscard]] std::vector<ScenarioKind> all_scenarios();
+
+struct ScenarioConfig {
+  Volt v_reg{1.0};
+  Ohm resistance{0.004};
+  NanoHenry inductance{0.08};
+  Picofarad decap{120000.0};
+  Picoseconds horizon{300000.0};
+  Picoseconds dt{20.0};
+  std::uint64_t seed = 2026;  // for the stochastic workloads
+};
+
+struct Scenario {
+  ScenarioKind kind;
+  std::string description;
+  psn::Waveform vdd;  // die supply
+  psn::Waveform gnd;  // ground bounce (same topology mirrored)
+  psn::DroopMetrics vdd_metrics;
+  psn::DroopMetrics gnd_metrics;
+};
+
+// Builds (solves) a scenario. Deterministic for a given config.
+[[nodiscard]] Scenario make_scenario(ScenarioKind kind,
+                                     const ScenarioConfig& config = {});
+
+}  // namespace psnt::cut

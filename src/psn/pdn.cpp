@@ -1,0 +1,199 @@
+#include "psn/pdn.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::psn {
+
+namespace {
+
+constexpr double kPsToS = 1e-12;
+constexpr double kNhToH = 1e-9;
+constexpr double kPfToF = 1e-12;
+
+// Classic fixed-step RK4 over a double-vector state.
+template <typename Deriv>
+void rk4_step(std::vector<double>& y, double t_s, double h_s,
+              const Deriv& deriv, std::vector<double>& k1,
+              std::vector<double>& k2, std::vector<double>& k3,
+              std::vector<double>& k4, std::vector<double>& tmp) {
+  const std::size_t n = y.size();
+  deriv(t_s, y, k1);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h_s * k1[i];
+  deriv(t_s + 0.5 * h_s, tmp, k2);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + 0.5 * h_s * k2[i];
+  deriv(t_s + 0.5 * h_s, tmp, k3);
+  for (std::size_t i = 0; i < n; ++i) tmp[i] = y[i] + h_s * k3[i];
+  deriv(t_s + h_s, tmp, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += h_s / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+}  // namespace
+
+bool LumpedPdnParams::valid() const {
+  return v_reg.value() > 0.0 && resistance.value() > 0.0 &&
+         inductance.value() > 0.0 && decap.value() > 0.0;
+}
+
+LumpedPdn::LumpedPdn(LumpedPdnParams params) : params_(params) {
+  PSNT_CHECK(params_.valid(), "PDN parameters out of physical range");
+}
+
+double LumpedPdn::resonant_frequency_ghz() const {
+  const double l = params_.inductance.value() * kNhToH;
+  const double c = params_.decap.value() * kPfToF;
+  return 1.0 / (2.0 * M_PI * std::sqrt(l * c)) * 1e-9;
+}
+
+double LumpedPdn::characteristic_impedance_ohm() const {
+  const double l = params_.inductance.value() * kNhToH;
+  const double c = params_.decap.value() * kPfToF;
+  return std::sqrt(l / c);
+}
+
+double LumpedPdn::quality_factor() const {
+  return characteristic_impedance_ohm() / params_.resistance.value();
+}
+
+Waveform LumpedPdn::solve(const CurrentProfile& load, Picoseconds t_end,
+                          Picoseconds dt) const {
+  PSNT_CHECK(t_end.value() > 0.0 && dt.value() > 0.0,
+             "solve needs positive horizon and step");
+  const double r = params_.resistance.value();
+  const double l = params_.inductance.value() * kNhToH;
+  const double c = params_.decap.value() * kPfToF;
+  const bool bounce = params_.polarity == RailPolarity::kGroundBounce;
+  const double sign = bounce ? -1.0 : 1.0;
+  const double v_source = bounce ? 0.0 : params_.v_reg.value();
+
+  const double i0 = load.at(Picoseconds{0.0}).value();
+  // State: y[0] = inductor current (regulator→die convention), y[1] = v_die.
+  std::vector<double> y{sign * i0, v_source - r * sign * i0};
+
+  auto deriv = [&](double t_s, const std::vector<double>& s,
+                   std::vector<double>& d) {
+    const double i_load = load.at(Picoseconds{t_s / kPsToS}).value();
+    d[0] = (v_source - s[1] - r * s[0]) / l;
+    d[1] = (s[0] - sign * i_load) / c;
+  };
+
+  const auto steps = static_cast<std::size_t>(t_end.value() / dt.value());
+  std::vector<double> samples;
+  samples.reserve(steps + 1);
+  samples.push_back(y[1]);
+
+  std::vector<double> k1(2), k2(2), k3(2), k4(2), tmp(2);
+  const double h_s = dt.value() * kPsToS;
+  for (std::size_t step = 0; step < steps; ++step) {
+    rk4_step(y, static_cast<double>(step) * h_s, h_s, deriv, k1, k2, k3, k4,
+             tmp);
+    samples.push_back(y[1]);
+  }
+  return Waveform{Picoseconds{0.0}, dt, std::move(samples)};
+}
+
+bool LadderPdnParams::valid() const {
+  const std::size_t n = resistance.size();
+  if (n == 0 || inductance.size() != n || decap.size() != n) return false;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (resistance[k].value() <= 0.0 || inductance[k].value() <= 0.0 ||
+        decap[k].value() <= 0.0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LadderPdnParams LadderPdnParams::uniform(std::size_t n, Volt v_reg,
+                                         Ohm total_r, NanoHenry total_l,
+                                         Picofarad total_c) {
+  PSNT_CHECK(n > 0, "ladder needs at least one segment");
+  LadderPdnParams p;
+  p.v_reg = v_reg;
+  const auto dn = static_cast<double>(n);
+  p.resistance.assign(n, Ohm{total_r.value() / dn});
+  p.inductance.assign(n, NanoHenry{total_l.value() / dn});
+  p.decap.assign(n, Picofarad{total_c.value() / dn});
+  return p;
+}
+
+LadderPdn::LadderPdn(LadderPdnParams params) : params_(std::move(params)) {
+  PSNT_CHECK(params_.valid(), "ladder PDN parameters out of physical range");
+}
+
+Waveform LadderPdn::solve(const CurrentProfile& load, Picoseconds t_end,
+                          Picoseconds dt) const {
+  PSNT_CHECK(t_end.value() > 0.0 && dt.value() > 0.0,
+             "solve needs positive horizon and step");
+  const std::size_t n = params_.segments();
+  const bool bounce = params_.polarity == RailPolarity::kGroundBounce;
+  const double sign = bounce ? -1.0 : 1.0;
+  const double v_source = bounce ? 0.0 : params_.v_reg.value();
+
+  std::vector<double> r(n), l(n), c(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    r[k] = params_.resistance[k].value();
+    l[k] = params_.inductance[k].value() * kNhToH;
+    c[k] = params_.decap[k].value() * kPfToF;
+  }
+
+  // State layout: y[0..n) inductor currents, y[n..2n) node voltages.
+  const double i0 = load.at(Picoseconds{0.0}).value();
+  std::vector<double> y(2 * n);
+  double v_acc = v_source;
+  for (std::size_t k = 0; k < n; ++k) {
+    y[k] = sign * i0;
+    v_acc -= r[k] * sign * i0;
+    y[n + k] = v_acc;
+  }
+
+  auto deriv = [&](double t_s, const std::vector<double>& s,
+                   std::vector<double>& d) {
+    const double i_load = load.at(Picoseconds{t_s / kPsToS}).value();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double v_prev = k == 0 ? v_source : s[n + k - 1];
+      d[k] = (v_prev - s[n + k] - r[k] * s[k]) / l[k];
+      const double i_out = k + 1 < n ? s[k + 1] : sign * i_load;
+      d[n + k] = (s[k] - i_out) / c[k];
+    }
+  };
+
+  const auto steps = static_cast<std::size_t>(t_end.value() / dt.value());
+  std::vector<double> samples;
+  samples.reserve(steps + 1);
+  samples.push_back(y[2 * n - 1]);
+
+  std::vector<double> k1(2 * n), k2(2 * n), k3(2 * n), k4(2 * n), tmp(2 * n);
+  const double h_s = dt.value() * kPsToS;
+  for (std::size_t step = 0; step < steps; ++step) {
+    rk4_step(y, static_cast<double>(step) * h_s, h_s, deriv, k1, k2, k3, k4,
+             tmp);
+    samples.push_back(y[2 * n - 1]);
+  }
+  return Waveform{Picoseconds{0.0}, dt, std::move(samples)};
+}
+
+DroopMetrics analyze_droop(const Waveform& rail, double nominal,
+                           RailPolarity polarity) {
+  DroopMetrics m;
+  m.nominal = nominal;
+  if (polarity == RailPolarity::kSupplyDroop) {
+    m.worst = rail.min();
+    m.time_of_worst = rail.time_of_min();
+    m.overshoot = std::max(0.0, rail.max() - nominal);
+  } else {
+    m.worst = rail.max();
+    // time of max: reuse min machinery on the negated waveform
+    const Waveform neg = rail.map([](double v) { return -v; });
+    m.time_of_worst = neg.time_of_min();
+    m.overshoot = std::max(0.0, nominal - rail.min());
+  }
+  m.worst_deviation = std::fabs(m.worst - nominal);
+  m.rms_ripple = rail.rms_ripple();
+  return m;
+}
+
+}  // namespace psnt::psn

@@ -1,0 +1,110 @@
+// Power delivery network models.
+//
+// The physical origin of the noise this sensor measures: the regulator
+// reaches the die through package/grid parasitics (R, L) and is stabilised by
+// on-die decap (C). A current step excites the LC tank and produces the
+// classic damped-sinusoid "first droop"; sustained activity at the resonant
+// frequency produces the worst-case ripple; DC current produces IR drop.
+//
+// Two models:
+//  * LumpedPdn — single RLC section. Analytic properties (resonant frequency,
+//    characteristic impedance) are exposed so tests can validate the solver
+//    against closed forms.
+//  * LadderPdn — N cascaded RLC sections (package → bumps → grid), load
+//    drawn at the far end; shows the stiffening effect of distributed decap.
+//
+// Both integrate with classic RK4 at a fixed step and render the die voltage
+// into a Waveform that plugs straight into the sensor's rail input. Ground
+// networks use the same machinery with `kGroundBounce` polarity: the solved
+// waveform is the bounce of GND-n above 0 V.
+#pragma once
+
+#include <vector>
+
+#include "psn/current_profile.h"
+#include "psn/waveform.h"
+#include "util/units.h"
+
+namespace psnt::psn {
+
+enum class RailPolarity {
+  kSupplyDroop,   // node starts at v_reg, droops under load
+  kGroundBounce,  // node starts at 0, bounces up under load
+};
+
+struct LumpedPdnParams {
+  Volt v_reg{1.0};
+  Ohm resistance{0.004};       // total loop resistance
+  NanoHenry inductance{0.08};  // package + grid loop inductance
+  Picofarad decap{120000.0};   // on-die decoupling (120 nF)
+  RailPolarity polarity = RailPolarity::kSupplyDroop;
+
+  [[nodiscard]] bool valid() const;
+};
+
+struct DroopMetrics {
+  double nominal = 0.0;
+  double worst = 0.0;           // most-droop (supply) / most-bounce (ground)
+  double worst_deviation = 0.0; // |worst - nominal|
+  Picoseconds time_of_worst{0.0};
+  double overshoot = 0.0;       // excursion past nominal on the other side
+  double rms_ripple = 0.0;
+};
+
+class LumpedPdn {
+ public:
+  explicit LumpedPdn(LumpedPdnParams params);
+
+  [[nodiscard]] const LumpedPdnParams& params() const { return params_; }
+
+  // Undamped resonant frequency 1/(2*pi*sqrt(LC)), in GHz.
+  [[nodiscard]] double resonant_frequency_ghz() const;
+  // sqrt(L/C): peak droop per ampere of ideal step (lightly damped).
+  [[nodiscard]] double characteristic_impedance_ohm() const;
+  // Quality factor Z0/R.
+  [[nodiscard]] double quality_factor() const;
+
+  // Integrates the die voltage from 0 to t_end with step dt; starts from the
+  // DC steady state of load.at(0).
+  [[nodiscard]] Waveform solve(const CurrentProfile& load, Picoseconds t_end,
+                               Picoseconds dt = Picoseconds{10.0}) const;
+
+ private:
+  LumpedPdnParams params_;
+};
+
+struct LadderPdnParams {
+  Volt v_reg{1.0};
+  // Per-segment parasitics, regulator side first.
+  std::vector<Ohm> resistance;
+  std::vector<NanoHenry> inductance;
+  std::vector<Picofarad> decap;
+  RailPolarity polarity = RailPolarity::kSupplyDroop;
+
+  [[nodiscard]] std::size_t segments() const { return resistance.size(); }
+  [[nodiscard]] bool valid() const;
+
+  // Uniform ladder with `n` equal segments splitting the given totals.
+  static LadderPdnParams uniform(std::size_t n, Volt v_reg, Ohm total_r,
+                                 NanoHenry total_l, Picofarad total_c);
+};
+
+class LadderPdn {
+ public:
+  explicit LadderPdn(LadderPdnParams params);
+
+  [[nodiscard]] const LadderPdnParams& params() const { return params_; }
+
+  // Die voltage at the far node under `load`, drawn entirely at that node.
+  [[nodiscard]] Waveform solve(const CurrentProfile& load, Picoseconds t_end,
+                               Picoseconds dt = Picoseconds{10.0}) const;
+
+ private:
+  LadderPdnParams params_;
+};
+
+// Summary statistics of a rail waveform relative to its nominal level.
+[[nodiscard]] DroopMetrics analyze_droop(const Waveform& rail, double nominal,
+                                         RailPolarity polarity);
+
+}  // namespace psnt::psn

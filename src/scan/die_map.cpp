@@ -1,0 +1,73 @@
+#include "scan/die_map.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace psnt::scan {
+
+DieMap::DieMap(const Floorplan& floorplan, Volt v_nominal)
+    : floorplan_(floorplan), v_nominal_(v_nominal) {}
+
+void DieMap::ingest(const std::vector<SiteMeasurement>& snapshot) {
+  sites_.clear();
+  sites_.reserve(snapshot.size());
+  for (const auto& sm : snapshot) {
+    SiteVoltage sv;
+    sv.site_id = sm.site_id;
+    sv.bin = sm.measurement.bin;
+    sv.below_range = sm.measurement.bin.below_range();
+    sv.above_range = sm.measurement.bin.above_range();
+    sv.estimate = sm.measurement.bin.estimate();
+    sites_.push_back(sv);
+  }
+}
+
+const SiteVoltage& DieMap::worst_site() const {
+  PSNT_CHECK(!sites_.empty(), "die map is empty");
+  return *std::min_element(sites_.begin(), sites_.end(),
+                           [](const SiteVoltage& a, const SiteVoltage& b) {
+                             return a.estimate < b.estimate;
+                           });
+}
+
+const SiteVoltage& DieMap::best_site() const {
+  PSNT_CHECK(!sites_.empty(), "die map is empty");
+  return *std::max_element(sites_.begin(), sites_.end(),
+                           [](const SiteVoltage& a, const SiteVoltage& b) {
+                             return a.estimate < b.estimate;
+                           });
+}
+
+Volt DieMap::gradient() const {
+  return best_site().estimate - worst_site().estimate;
+}
+
+std::string DieMap::render(std::size_t rows, std::size_t cols) const {
+  PSNT_CHECK(rows * cols == sites_.size(),
+             "render grid does not match the site count");
+  std::string out;
+  out.reserve(rows * (cols * 5 + 1));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const SiteVoltage& sv = sites_[r * cols + c];
+      char cell[8];
+      if (sv.below_range) {
+        std::snprintf(cell, sizeof cell, " LOW ");
+      } else if (sv.above_range) {
+        std::snprintf(cell, sizeof cell, " HI  ");
+      } else {
+        // Droop in mV below nominal.
+        const int mv = static_cast<int>(
+            (v_nominal_.value() - sv.estimate.value()) * 1000.0 + 0.5);
+        std::snprintf(cell, sizeof cell, "%4d ", mv);
+      }
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace psnt::scan

@@ -1,0 +1,53 @@
+// Die voltage map: aggregation of multi-site measurements.
+//
+// Turns a scan-chain snapshot into a per-site voltage estimate, identifies
+// the worst-droop site and renders an ASCII heat map — the verification-style
+// report a bring-up engineer would pull from the PSN scan chain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/measurement.h"
+#include "scan/floorplan.h"
+#include "scan/scan_chain.h"
+
+namespace psnt::scan {
+
+struct SiteVoltage {
+  std::uint32_t site_id = 0;
+  Volt estimate{0.0};
+  core::VoltageBin bin;
+  bool below_range = false;
+  bool above_range = false;
+};
+
+class DieMap {
+ public:
+  DieMap(const Floorplan& floorplan, Volt v_nominal);
+
+  // Ingests one broadcast snapshot.
+  void ingest(const std::vector<SiteMeasurement>& snapshot);
+
+  [[nodiscard]] const std::vector<SiteVoltage>& sites() const {
+    return sites_;
+  }
+  [[nodiscard]] std::size_t count() const { return sites_.size(); }
+
+  // Site with the lowest voltage estimate (worst supply droop).
+  [[nodiscard]] const SiteVoltage& worst_site() const;
+  [[nodiscard]] const SiteVoltage& best_site() const;
+  // Spread between best and worst estimates (the on-die IR gradient).
+  [[nodiscard]] Volt gradient() const;
+
+  // ASCII rendering: rows×cols grid of per-mille droop (3 chars per site).
+  // Only meaningful for grid floorplans; arbitrary plans render site lists.
+  [[nodiscard]] std::string render(std::size_t rows, std::size_t cols) const;
+
+ private:
+  const Floorplan& floorplan_;
+  Volt v_nominal_;
+  std::vector<SiteVoltage> sites_;
+};
+
+}  // namespace psnt::scan

@@ -1,0 +1,57 @@
+#include "scan/floorplan.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::scan {
+
+Floorplan::Floorplan(double width_um, double height_um)
+    : width_um_(width_um), height_um_(height_um) {
+  PSNT_CHECK(width_um > 0.0 && height_um > 0.0,
+             "die dimensions must be positive");
+}
+
+std::uint32_t Floorplan::add_site(const std::string& name, Point position) {
+  PSNT_CHECK(position.x_um >= 0.0 && position.x_um <= width_um_ &&
+                 position.y_um >= 0.0 && position.y_um <= height_um_,
+             "site must lie inside the die");
+  SensorSite site;
+  site.id = static_cast<std::uint32_t>(sites_.size());
+  site.name = name;
+  site.position = position;
+  const std::uint32_t id = site.id;
+  sites_.push_back(std::move(site));
+  return id;
+}
+
+const SensorSite& Floorplan::site(std::uint32_t id) const {
+  PSNT_CHECK(id < sites_.size(), "site id out of range");
+  return sites_[id];
+}
+
+double Floorplan::distance_um(std::uint32_t site_id, Point from) const {
+  const SensorSite& s = site(site_id);
+  const double dx = s.position.x_um - from.x_um;
+  const double dy = s.position.y_um - from.y_um;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+Floorplan Floorplan::grid(double width_um, double height_um, std::size_t rows,
+                          std::size_t cols) {
+  PSNT_CHECK(rows > 0 && cols > 0, "grid needs at least one site");
+  Floorplan fp{width_um, height_um};
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x =
+          width_um * (static_cast<double>(c) + 0.5) / static_cast<double>(cols);
+      const double y = height_um * (static_cast<double>(r) + 0.5) /
+                       static_cast<double>(rows);
+      fp.add_site("s_r" + std::to_string(r) + "_c" + std::to_string(c),
+                  Point{x, y});
+    }
+  }
+  return fp;
+}
+
+}  // namespace psnt::scan

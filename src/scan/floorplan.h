@@ -1,0 +1,56 @@
+// Die floorplan for multi-point PSN sensing.
+//
+// "the sensor arrays (INVs plus FFs) can be multiplied, so that measures in
+//  many points of the CUT are possible" — sensor sites are placed at die
+// coordinates; each site observes its local rail (IR drop and droop vary
+// with distance from the supply pads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace psnt::scan {
+
+struct Point {
+  double x_um = 0.0;
+  double y_um = 0.0;
+};
+
+struct SensorSite {
+  std::uint32_t id = 0;
+  std::string name;
+  Point position;
+};
+
+class Floorplan {
+ public:
+  Floorplan(double width_um, double height_um);
+
+  [[nodiscard]] double width_um() const { return width_um_; }
+  [[nodiscard]] double height_um() const { return height_um_; }
+
+  // Adds a site; the position must lie inside the die. Returns the new
+  // site's id (references into sites() are invalidated by further adds).
+  std::uint32_t add_site(const std::string& name, Point position);
+
+  [[nodiscard]] const std::vector<SensorSite>& sites() const { return sites_; }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+  [[nodiscard]] const SensorSite& site(std::uint32_t id) const;
+
+  // Euclidean distance from a site to a reference point (e.g. supply pad).
+  [[nodiscard]] double distance_um(std::uint32_t site_id, Point from) const;
+
+  // Uniform rows×cols grid of sites named "s_r<r>_c<c>", inset from edges.
+  static Floorplan grid(double width_um, double height_um, std::size_t rows,
+                        std::size_t cols);
+
+ private:
+  double width_um_;
+  double height_um_;
+  std::vector<SensorSite> sites_;
+};
+
+}  // namespace psnt::scan

@@ -1,0 +1,74 @@
+// The PSN scan chain: the paper's headline usage model.
+//
+// "This sensor system can be thought for PSN as scan chains are for data
+//  faults" — sensor arrays replicated at many die points, one shared control
+// system, results serially shifted out. This module models that protocol:
+//
+//   1. broadcast_measure(): every site runs the PREPARE+SENSE transaction
+//      simultaneously against its *local* rail and latches its word into the
+//      chain's shadow register.
+//   2. shift_out(): the latched words leave the die serially, LSB of site 0
+//      first, one bit per control clock — exactly like test scan.
+//
+// Readout cost is therefore sites × bits cycles per snapshot, which bench A3
+// sweeps.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "analog/rail.h"
+#include "core/thermometer.h"
+#include "scan/floorplan.h"
+
+namespace psnt::scan {
+
+struct SiteMeasurement {
+  std::uint32_t site_id = 0;
+  core::Measurement measurement;
+};
+
+class PsnScanChain {
+ public:
+  // `thermometer_factory` builds one sensor instance per site (identical
+  // design, as the paper prescribes: one control block, replicated arrays).
+  PsnScanChain(const Floorplan& floorplan, core::ThermometerConfig config);
+
+  // Registers a site with its local rail pair. Rails must outlive the chain.
+  void attach_site(std::uint32_t site_id, analog::RailPair rails,
+                   core::NoiseThermometer thermometer);
+
+  [[nodiscard]] std::size_t attached_sites() const { return sites_.size(); }
+  [[nodiscard]] std::size_t word_bits() const;
+
+  // Simultaneous measure at every attached site; latches the shadow register
+  // and returns the per-site results.
+  std::vector<SiteMeasurement> broadcast_measure(Picoseconds at,
+                                                 core::DelayCode code);
+
+  // Serial readout of the last broadcast: site 0 bit 0 first. Size is
+  // attached_sites() × word_bits().
+  [[nodiscard]] std::vector<bool> shift_out() const;
+
+  // Cycles a full snapshot costs: measure transaction + serial shift.
+  [[nodiscard]] std::size_t snapshot_cycles() const;
+
+  // Reconstructs per-site words from a serial bitstream (the receiver's view;
+  // round-trips with shift_out()).
+  [[nodiscard]] std::vector<core::ThermoWord> deserialize(
+      const std::vector<bool>& bits) const;
+
+ private:
+  struct Site {
+    std::uint32_t id;
+    analog::RailPair rails;
+    core::NoiseThermometer thermometer;
+    core::ThermoWord latched;
+  };
+
+  const Floorplan& floorplan_;
+  core::ThermometerConfig config_;
+  std::vector<Site> sites_;
+};
+
+}  // namespace psnt::scan

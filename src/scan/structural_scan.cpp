@@ -1,0 +1,66 @@
+#include "scan/structural_scan.h"
+
+#include "util/error.h"
+
+namespace psnt::scan {
+
+using namespace psnt::literals;
+
+StructuralScanRegister::StructuralScanRegister(
+    sim::Simulator& sim, const std::string& name,
+    const std::vector<sim::Net*>& parallel_in, sim::Net& scan_in,
+    sim::Net& shift_enable, sim::Net& scan_clk,
+    analog::FlipFlopTimingModel ff_model) {
+  PSNT_CHECK(!parallel_in.empty(), "scan register needs at least one bit");
+  const std::size_t n = parallel_in.size();
+  q_.resize(n, nullptr);
+  // Data shifts toward bit 0 so the chain emits bit 0 first — the
+  // serialization order the behavioral PsnScanChain defines. Bit N-1 takes
+  // the upstream scan_in.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t b = n - 1 - i;
+    PSNT_CHECK(parallel_in[b] != nullptr, "null parallel input");
+    sim::Net& d = sim.net(name + ".d" + std::to_string(b));
+    sim::Net& q = sim.net(name + ".q" + std::to_string(b));
+    sim::Net& upstream = (b + 1 < n) ? *q_[b + 1] : scan_in;
+    // shift_enable=0 → capture the sensor OUT; =1 → take the upstream stage.
+    sim.add<sim::Mux2Gate>(name + ".mux" + std::to_string(b),
+                           *parallel_in[b], upstream, shift_enable, d,
+                           48.0_ps);
+    sim.add<sim::DFlipFlop>(name + ".ff" + std::to_string(b), d, scan_clk, q,
+                            ff_model);
+    q_[b] = &q;
+  }
+}
+
+sim::Net& StructuralScanRegister::scan_out() { return *q_.front(); }
+
+core::ThermoWord StructuralScanRegister::contents() const {
+  core::ThermoWord word{0, q_.size()};
+  for (std::size_t b = 0; b < q_.size(); ++b) {
+    word.set_bit(b, q_[b]->value() == sim::Logic::L1);
+  }
+  return word;
+}
+
+std::vector<bool> run_scan_shift(sim::Simulator& sim, sim::Net& scan_clk,
+                                 sim::Net& scan_out, Picoseconds start,
+                                 Picoseconds period, std::size_t cycles) {
+  PSNT_CHECK(period.value() > 0.0, "scan period must be positive");
+  std::vector<bool> bits;
+  bits.reserve(cycles);
+  double t = start.value();
+  for (std::size_t k = 0; k < cycles; ++k) {
+    // Sample the chain output just before launching the next edge.
+    sim.run_until(Picoseconds{t + period.value() * 0.45});
+    bits.push_back(scan_out.value() == sim::Logic::L1);
+    sim.drive(scan_clk, Picoseconds{t + period.value() * 0.5},
+              sim::Logic::L1);
+    sim.drive(scan_clk, Picoseconds{t + period.value()}, sim::Logic::L0);
+    sim.run_until(Picoseconds{t + period.value()});
+    t += period.value();
+  }
+  return bits;
+}
+
+}  // namespace psnt::scan

@@ -1,0 +1,51 @@
+// Gate-level scan readout register.
+//
+// The serial-readout half of the "PSN scan chain" built from real gates in
+// the event simulator: per bit, a MUX selects between the sensor's OUT
+// (capture mode) and the previous stage's Q (shift mode), feeding a DFF
+// clocked by the scan clock. Several registers daisy-chain through their
+// scan_in/scan_out ports exactly like test scan. The behavioural
+// scan::PsnScanChain models the protocol; this module proves the protocol
+// is implementable with two cells per bit and verifies the serialization
+// order the chain assumes.
+#pragma once
+
+#include <vector>
+
+#include "analog/flipflop_model.h"
+#include "sim/dff.h"
+#include "sim/gates.h"
+#include "sim/simulator.h"
+#include "core/thermo_code.h"
+
+namespace psnt::scan {
+
+class StructuralScanRegister {
+ public:
+  // `parallel_in` are the sensor OUT nets (bit 0 first). `scan_in` is the
+  // upstream chain input (tie low for the first register).
+  StructuralScanRegister(sim::Simulator& sim, const std::string& name,
+                         const std::vector<sim::Net*>& parallel_in,
+                         sim::Net& scan_in, sim::Net& shift_enable,
+                         sim::Net& scan_clk,
+                         analog::FlipFlopTimingModel ff_model = {});
+
+  [[nodiscard]] std::size_t bits() const { return q_.size(); }
+  // Chain output: Q of stage 0 (bit 0 leaves first, matching the behavioral
+  // PsnScanChain serialization order).
+  [[nodiscard]] sim::Net& scan_out();
+  // Current register contents.
+  [[nodiscard]] core::ThermoWord contents() const;
+
+ private:
+  std::vector<sim::Net*> q_;
+};
+
+// Test-bench helper: runs `cycles` scan-clock cycles (rising edges every
+// `period`, starting at `start` + period/2) and samples `scan_out` just
+// before each rising edge, returning the serial bit sequence observed.
+std::vector<bool> run_scan_shift(sim::Simulator& sim, sim::Net& scan_clk,
+                                 sim::Net& scan_out, Picoseconds start,
+                                 Picoseconds period, std::size_t cycles);
+
+}  // namespace psnt::scan

@@ -1,0 +1,49 @@
+#include "sim/net.h"
+
+#include "sim/scheduler.h"
+
+namespace psnt::sim {
+
+void Net::apply(Logic v, SimTime at) {
+  if (v == value_) return;
+  const Logic old = value_;
+  value_ = v;
+  last_change_ = at;
+  ++transitions_;
+  for (const auto& listener : listeners_) listener(*this, old, v, at);
+}
+
+void Net::force(Scheduler& scheduler, Logic v) {
+  cancel_pending();  // a force supersedes pending driver events
+  apply(v, scheduler.now());
+}
+
+void Net::schedule_level(Scheduler& scheduler, SimTime delay, Logic v) {
+  const SimTime at = scheduler.now() + delay;
+
+  if (pending_active_) {
+    if (pending_value_ == v && pending_time_ <= at) {
+      // The same edge is already in flight (and not later than this request):
+      // keep it. Re-evaluations triggered by non-controlling inputs must not
+      // postpone an already-launched transition.
+      return;
+    }
+    // Conflicting (or earlier) request: cancel the in-flight transition.
+    ++generation_;
+  } else if (v == value_) {
+    // Nothing pending and no change requested.
+    return;
+  }
+
+  pending_active_ = true;
+  pending_value_ = v;
+  pending_time_ = at;
+  const std::uint64_t my_generation = generation_;
+  scheduler.schedule_at(at, [this, my_generation, v, &scheduler] {
+    if (generation_ != my_generation) return;  // superseded: inertial cancel
+    pending_active_ = false;
+    apply(v, scheduler.now());
+  });
+}
+
+}  // namespace psnt::sim

@@ -1,0 +1,51 @@
+// Waveform probes and stimulus helpers for testbenches.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace psnt::sim {
+
+// Records every transition of a net.
+class TransitionRecorder {
+ public:
+  struct Transition {
+    Picoseconds time{0.0};
+    Logic from = Logic::X;
+    Logic to = Logic::X;
+  };
+
+  explicit TransitionRecorder(Net& net);
+
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+  [[nodiscard]] std::size_t count() const { return transitions_.size(); }
+  void clear() { transitions_.clear(); }
+
+  // Time of the most recent transition *to* L1 (rising edge), if any.
+  [[nodiscard]] std::optional<Picoseconds> last_rise() const;
+  [[nodiscard]] std::optional<Picoseconds> last_fall() const;
+  // Rising edge at-or-after `t`.
+  [[nodiscard]] std::optional<Picoseconds> first_rise_after(
+      Picoseconds t) const;
+  [[nodiscard]] std::optional<Picoseconds> first_fall_after(
+      Picoseconds t) const;
+
+ private:
+  std::vector<Transition> transitions_;
+};
+
+// Drives a periodic clock on a net: rising edges at phase + k*period, 50%
+// duty, for `cycles` cycles.
+void drive_clock(Simulator& sim, Net& net, Picoseconds phase,
+                 Picoseconds period, std::size_t cycles);
+
+// Drives a square pulse: net goes to `active` at t_start and back at t_end.
+void drive_pulse(Simulator& sim, Net& net, Picoseconds t_start,
+                 Picoseconds t_end, Logic active = Logic::L1,
+                 Logic idle = Logic::L0);
+
+}  // namespace psnt::sim

@@ -1,0 +1,40 @@
+#include "sim/scheduler.h"
+
+#include "util/error.h"
+
+namespace psnt::sim {
+
+void Scheduler::schedule_at(SimTime t, Action action) {
+  PSNT_CHECK(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void Scheduler::schedule_after(SimTime delay, Action action) {
+  PSNT_CHECK(delay >= 0, "negative event delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out before
+  // pop, so copy the POD fields and move via const_cast (standard idiom for
+  // move-only payloads in a priority_queue).
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  ++executed_;
+  event.action();
+  return true;
+}
+
+void Scheduler::run_until(SimTime t_end) {
+  while (!queue_.empty() && queue_.top().time <= t_end) step();
+  if (now_ < t_end) now_ = t_end;
+}
+
+void Scheduler::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace psnt::sim

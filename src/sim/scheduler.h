@@ -1,0 +1,61 @@
+// Discrete-event scheduler.
+//
+// A classic time-ordered event queue. Events at the same timestamp execute
+// in insertion order (a stable tiebreak on a monotone sequence number), which
+// gives deterministic delta-cycle behaviour without a separate delta queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace psnt::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `t` (>= now).
+  void schedule_at(SimTime t, Action action);
+
+  // Schedules `action` `delay` after now.
+  void schedule_after(SimTime delay, Action action);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  // Runs events until the queue is empty or `t_end` is passed; `now()` ends
+  // at min(t_end, last event time). Events exactly at t_end execute.
+  void run_until(SimTime t_end);
+
+  // Runs to quiescence.
+  void run_all();
+
+  // Executes the single next event (if any); returns whether one ran.
+  bool step();
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace psnt::sim

@@ -1,0 +1,34 @@
+// Simulation time base.
+//
+// The event simulator counts integer femtoseconds: fine enough that the
+// analog models' sub-picosecond margins survive quantisation (the smallest
+// meaningful quantity in the system is the FF metastability band, ~10 ps),
+// and integral so event ordering is exact and runs are bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/units.h"
+
+namespace psnt::sim {
+
+// Absolute simulation time in femtoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kFsPerPs = 1000;
+
+[[nodiscard]] constexpr SimTime from_ps(double ps) {
+  return static_cast<SimTime>(ps * static_cast<double>(kFsPerPs) +
+                              (ps >= 0 ? 0.5 : -0.5));
+}
+
+[[nodiscard]] constexpr SimTime from_ps(Picoseconds t) {
+  return from_ps(t.value());
+}
+
+[[nodiscard]] constexpr Picoseconds to_ps(SimTime t) {
+  return Picoseconds{static_cast<double>(t) / static_cast<double>(kFsPerPs)};
+}
+
+}  // namespace psnt::sim

@@ -1,0 +1,29 @@
+#include "sim/simulator.h"
+
+namespace psnt::sim {
+
+Component::Component(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {}
+
+Net& Simulator::net(std::string_view name) {
+  if (Net* existing = find_net(name)) return *existing;
+  nets_.push_back(
+      std::make_unique<Net>(std::string(name),
+                            static_cast<std::uint32_t>(nets_.size())));
+  return *nets_.back();
+}
+
+Net* Simulator::find_net(std::string_view name) {
+  for (const auto& net : nets_) {
+    if (net->name() == name) return net.get();
+  }
+  return nullptr;
+}
+
+void Simulator::drive(Net& net, Picoseconds at, Logic v) {
+  scheduler_.schedule_at(from_ps(at), [&net, v, this] {
+    net.force(scheduler_, v);
+  });
+}
+
+}  // namespace psnt::sim

@@ -1,0 +1,80 @@
+// Simulator: owns the scheduler, the nets and the component instances.
+//
+// Usage:
+//   Simulator sim;
+//   Net& a = sim.net("a");
+//   Net& y = sim.net("y");
+//   sim.add<InvGate>("u_inv", a, y, Picoseconds{14});
+//   sim.drive(a, 0_ps, Logic::L0);
+//   sim.run_until(10_ns);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/net.h"
+#include "sim/scheduler.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace psnt::sim {
+
+class Simulator;
+
+// Base class for circuit elements. A component wires itself to its nets in
+// its constructor (subscribing to input changes) and reacts by scheduling
+// output transitions.
+class Component {
+ public:
+  Component(Simulator& sim, std::string name);
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ protected:
+  Simulator& sim_;
+
+ private:
+  std::string name_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  // Creates (or retrieves by name) a net.
+  Net& net(std::string_view name);
+  [[nodiscard]] Net* find_net(std::string_view name);
+  [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto component = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T& ref = *component;
+    components_.push_back(std::move(component));
+    return ref;
+  }
+
+  [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return scheduler_; }
+  [[nodiscard]] Picoseconds now() const { return to_ps(scheduler_.now()); }
+
+  // Schedules a stimulus: net takes `v` at absolute time `at`.
+  void drive(Net& net, Picoseconds at, Logic v);
+
+  void run_until(Picoseconds t) { scheduler_.run_until(from_ps(t)); }
+  void run_all() { scheduler_.run_all(); }
+
+ private:
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<Net>> nets_;
+  std::vector<std::unique_ptr<Component>> components_;
+};
+
+}  // namespace psnt::sim

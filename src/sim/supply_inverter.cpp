@@ -1,0 +1,33 @@
+#include "sim/supply_inverter.h"
+
+namespace psnt::sim {
+
+SupplyInverter::SupplyInverter(Simulator& sim, std::string name, Net& a,
+                               Net& y, analog::AlphaPowerDelayModel model,
+                               analog::RailPair rails, Picofarad c_load)
+    : Component(sim, std::move(name)),
+      a_(a),
+      y_(y),
+      model_(std::move(model)),
+      rails_(rails),
+      c_load_(c_load) {
+  PSNT_CHECK(rails_.vdd != nullptr, "sense inverter needs a vdd rail");
+  PSNT_CHECK(c_load_.value() >= 0.0, "negative DS load");
+  a.on_change([this](const Net&, Logic, Logic, SimTime at) { on_input(at); });
+}
+
+void SupplyInverter::on_input(SimTime at) {
+  const Volt v = rails_.effective(to_ps(at));
+  const Picoseconds delay = model_.delay(v, c_load_);
+  const Logic out = logic_not(a_.value());
+  y_.schedule_level(sim_.scheduler(), from_ps(delay), out);
+
+  Transition tr;
+  tr.input_time = to_ps(at);
+  tr.delay = delay;
+  tr.supply = v;
+  tr.output_value = out;
+  transitions_.push_back(tr);
+}
+
+}  // namespace psnt::sim

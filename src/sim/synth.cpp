@@ -1,0 +1,113 @@
+#include "sim/synth.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace psnt::sim {
+
+namespace {
+
+Net& reduce_tree(Simulator& sim, const std::string& name,
+                 std::vector<Net*> nets, Picoseconds gate_delay, bool is_and) {
+  PSNT_CHECK(!nets.empty(), "cannot reduce an empty net list");
+  std::size_t level = 0;
+  while (nets.size() > 1) {
+    std::vector<Net*> next;
+    next.reserve((nets.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < nets.size(); i += 2) {
+      Net& y = sim.net(name + ".l" + std::to_string(level) + "_" +
+                       std::to_string(i / 2));
+      const std::string gate_name =
+          name + (is_and ? ".and" : ".or") + std::to_string(level) + "_" +
+          std::to_string(i / 2);
+      if (is_and) {
+        sim.add<And2Gate>(gate_name, *nets[i], *nets[i + 1], y, gate_delay);
+      } else {
+        sim.add<Or2Gate>(gate_name, *nets[i], *nets[i + 1], y, gate_delay);
+      }
+      next.push_back(&y);
+    }
+    if (nets.size() % 2 == 1) next.push_back(nets.back());
+    nets = std::move(next);
+    ++level;
+  }
+  return *nets.front();
+}
+
+}  // namespace
+
+Net& reduce_and(Simulator& sim, const std::string& name,
+                std::vector<Net*> nets, Picoseconds gate_delay) {
+  return reduce_tree(sim, name, std::move(nets), gate_delay, /*is_and=*/true);
+}
+
+Net& reduce_or(Simulator& sim, const std::string& name, std::vector<Net*> nets,
+               Picoseconds gate_delay) {
+  return reduce_tree(sim, name, std::move(nets), gate_delay, /*is_and=*/false);
+}
+
+SopSynthesizer::SopSynthesizer(Simulator& sim, std::string scope,
+                               std::vector<Net*> inputs, SynthOptions options)
+    : sim_(sim),
+      scope_(std::move(scope)),
+      inputs_(std::move(inputs)),
+      inverted_(inputs_.size(), nullptr),
+      options_(options) {
+  PSNT_CHECK(!inputs_.empty(), "SOP synthesis needs at least one input");
+  PSNT_CHECK(inputs_.size() <= 20, "SOP input count is unreasonably large");
+  for (Net* in : inputs_) PSNT_CHECK(in != nullptr, "null SOP input");
+}
+
+Net& SopSynthesizer::literal(std::size_t input, bool positive) {
+  if (positive) return *inputs_[input];
+  if (inverted_[input] == nullptr) {
+    Net& n = sim_.net(scope_ + ".n" + std::to_string(input));
+    sim_.add<InvGate>(scope_ + ".inv" + std::to_string(input),
+                      *inputs_[input], n, options_.inv_delay);
+    ++gates_built_;
+    inverted_[input] = &n;
+  }
+  return *inverted_[input];
+}
+
+Net& SopSynthesizer::synthesize(const std::string& name,
+                                const std::vector<std::uint32_t>& minterms) {
+  const std::string scoped = scope_ + "." + name;
+  const auto domain = 1u << inputs_.size();
+
+  // Constant cases: tie nets driven at elaboration.
+  if (minterms.empty()) {
+    Net& lo = sim_.net(scoped + ".tie0");
+    sim_.drive(lo, Picoseconds{0.0}, Logic::L0);
+    return lo;
+  }
+  if (minterms.size() == domain) {
+    Net& hi = sim_.net(scoped + ".tie1");
+    sim_.drive(hi, Picoseconds{0.0}, Logic::L1);
+    return hi;
+  }
+
+  std::vector<Net*> products;
+  products.reserve(minterms.size());
+  for (const std::uint32_t m : minterms) {
+    PSNT_CHECK(m < domain, "minterm outside the input domain");
+    std::vector<Net*> lits;
+    lits.reserve(inputs_.size());
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+      lits.push_back(&literal(i, (m >> i) & 1u));
+    }
+    Net& product =
+        reduce_and(sim_, scoped + ".m" + std::to_string(m), std::move(lits),
+                   options_.and_delay);
+    gates_built_ += inputs_.size() - 1;
+    products.push_back(&product);
+  }
+  Net& out = reduce_or(sim_, scoped + ".sum", std::move(products),
+                       options_.or_delay);
+  gates_built_ += minterms.size() - 1;
+  ++next_id_;
+  return out;
+}
+
+}  // namespace psnt::sim

@@ -1,0 +1,65 @@
+#include "sim/vcd.h"
+
+#include "util/error.h"
+
+namespace psnt::sim {
+
+VcdWriter::VcdWriter(const std::string& path, const std::string& module_name)
+    : out_(path), module_name_(module_name) {}
+
+VcdWriter::~VcdWriter() {
+  if (out_.is_open()) out_.flush();
+}
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // Base-94 printable identifiers, '!'..'~'.
+  std::string code;
+  do {
+    code.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+void VcdWriter::trace(Net& net) {
+  PSNT_CHECK(!dumping_, "trace() must precede begin_dump()");
+  traced_.push_back({&net, id_code(traced_.size())});
+}
+
+void VcdWriter::begin_dump() {
+  PSNT_CHECK(!dumping_, "begin_dump() called twice");
+  dumping_ = true;
+  if (!out_.is_open()) return;
+
+  out_ << "$timescale 1fs $end\n";
+  out_ << "$scope module " << module_name_ << " $end\n";
+  for (const auto& t : traced_) {
+    out_ << "$var wire 1 " << t.code << " " << t.net->name() << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+
+  out_ << "$dumpvars\n";
+  for (const auto& t : traced_) {
+    out_ << to_char(t.net->value()) << t.code << '\n';
+  }
+  out_ << "$end\n";
+  last_emitted_time_ = 0;
+
+  for (auto& t : traced_) {
+    Traced* traced = &t;
+    t.net->on_change([this, traced](const Net&, Logic, Logic to, SimTime at) {
+      emit(*traced, to, at);
+    });
+  }
+}
+
+void VcdWriter::emit(const Traced& t, Logic value, SimTime at) {
+  if (!out_.is_open()) return;
+  if (at != last_emitted_time_) {
+    out_ << '#' << at << '\n';
+    last_emitted_time_ = at;
+  }
+  out_ << to_char(value) << t.code << '\n';
+}
+
+}  // namespace psnt::sim

@@ -1,0 +1,51 @@
+// VCD (Value Change Dump) waveform writer.
+//
+// Attaching a VcdWriter to a simulator's nets produces a standard .vcd file
+// viewable in GTKWave — the moral equivalent of the paper's ELDO waveform
+// plots (Figs. 2, 3, 9). Timescale is 1 fs to match SimTime.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/net.h"
+#include "sim/sim_time.h"
+
+namespace psnt::sim {
+
+class VcdWriter {
+ public:
+  explicit VcdWriter(const std::string& path,
+                     const std::string& module_name = "psnt");
+  ~VcdWriter();
+
+  VcdWriter(const VcdWriter&) = delete;
+  VcdWriter& operator=(const VcdWriter&) = delete;
+
+  // Registers a net for tracing. Must be called before begin_dump().
+  void trace(Net& net);
+
+  // Writes the header and the initial values; change events stream after.
+  void begin_dump();
+
+  [[nodiscard]] bool is_open() const { return out_.is_open(); }
+  [[nodiscard]] std::size_t traced_nets() const { return traced_.size(); }
+
+ private:
+  struct Traced {
+    Net* net;
+    std::string code;
+  };
+
+  [[nodiscard]] static std::string id_code(std::size_t index);
+  void emit(const Traced& t, Logic value, SimTime at);
+
+  std::ofstream out_;
+  std::string module_name_;
+  std::vector<Traced> traced_;
+  SimTime last_emitted_time_ = -1;
+  bool dumping_ = false;
+};
+
+}  // namespace psnt::sim

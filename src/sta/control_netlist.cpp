@@ -1,0 +1,214 @@
+#include "sta/control_netlist.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace psnt::sta {
+
+namespace {
+
+// Small helper translating structural construction into timing-graph nodes
+// and precomputed edge delays.
+class Builder {
+ public:
+  Builder(const analog::CellLibrary& lib, ControlNetlistOptions options,
+          ControlNetlist& out)
+      : lib_(lib), options_(options), out_(out) {}
+
+  // Combinational gate: returns its output node. `fanout` estimates the
+  // number of downstream pins for the load calculation.
+  NodeId gate(const std::string& cell, std::vector<NodeId> inputs,
+              const std::string& out_name, std::size_t fanout = 1) {
+    const NodeId y = out_.graph.add_node(out_name);
+    const Picoseconds d =
+        lib_.at(cell).worst_delay(options_.input_slew, load_for(fanout));
+    GateInstance inst;
+    inst.cell = cell;
+    inst.name = "u_" + out_name;
+    inst.output = out_name;
+    for (const NodeId in : inputs) {
+      out_.graph.add_edge(in, y, d);
+      inst.inputs.push_back(out_.graph.node_name(in));
+    }
+    out_.gates.push_back(std::move(inst));
+    ++out_.gate_count;
+    return y;
+  }
+
+  // Launch register: clk-to-q source. `extra_route` adds route capacitance
+  // beyond the fanout estimate (the cross-block case).
+  NodeId launch_ff(const std::string& name, std::size_t fanout,
+                   Picofarad extra_route = Picofarad{0.0}) {
+    const NodeId q = out_.graph.add_node(name);
+    const auto& dff = lib_.at("DFF_X1");
+    const Picoseconds c2q = dff.seq->clk_to_q.lookup(
+        options_.input_slew, load_for(fanout) + extra_route);
+    out_.graph.set_source(q, c2q);
+    out_.registers.push_back(RegisterInstance{name, "", name});
+    ++out_.register_count;
+    return q;
+  }
+
+  // Capture register: setup sink fed by `d_input`.
+  void capture_ff(const std::string& name, NodeId d_input) {
+    const NodeId d = out_.graph.add_node(name);
+    out_.graph.add_edge(d_input, d, Picoseconds{0.0});
+    out_.graph.set_sink(d, lib_.at("DFF_X1").seq->t_setup);
+    out_.registers.push_back(
+        RegisterInstance{name, out_.graph.node_name(d_input), ""});
+    ++out_.register_count;
+  }
+
+  struct FullAdderOut {
+    NodeId sum;
+    NodeId carry;
+  };
+
+  FullAdderOut full_adder(const std::string& name, NodeId a, NodeId b,
+                          NodeId cin) {
+    const NodeId axb = gate("XOR2_X1", {a, b}, name + ".axb", 2);
+    const NodeId sum = gate("XOR2_X1", {axb, cin}, name + ".sum", 2);
+    const NodeId ab = gate("AND2_X1", {a, b}, name + ".ab", 1);
+    const NodeId axb_c = gate("AND2_X1", {axb, cin}, name + ".axbc", 1);
+    const NodeId cout = gate("OR2_X1", {ab, axb_c}, name + ".cout", 2);
+    return {sum, cout};
+  }
+
+  struct HalfAdderOut {
+    NodeId sum;
+    NodeId carry;
+  };
+
+  HalfAdderOut half_adder(const std::string& name, NodeId a, NodeId b) {
+    const NodeId sum = gate("XOR2_X1", {a, b}, name + ".sum", 2);
+    const NodeId carry = gate("AND2_X1", {a, b}, name + ".carry", 2);
+    return {sum, carry};
+  }
+
+ private:
+  [[nodiscard]] Picofarad load_for(std::size_t fanout) const {
+    // Average standard-cell input pin plus estimated wire per connection.
+    const double pin_cap = 0.0024;
+    return Picofarad{static_cast<double>(fanout) *
+                     (pin_cap + options_.wire_cap_per_fanout.value())};
+  }
+
+  const analog::CellLibrary& lib_;
+  ControlNetlistOptions options_;
+  ControlNetlist& out_;
+};
+
+}  // namespace
+
+ControlNetlist build_control_netlist(const analog::CellLibrary& lib,
+                                     ControlNetlistOptions options) {
+  ControlNetlist netlist;
+  Builder b(lib, options, netlist);
+
+  // --- Sensor-array output registers (OUT-i), routed across the CUT block to
+  // CNTR. These launch the dominant path.
+  std::array<NodeId, 7> q{};
+  for (std::size_t i = 0; i < 7; ++i) {
+    q[i] = b.launch_ff("hs.out" + std::to_string(i), 2,
+                       options.cross_block_route_cap);
+  }
+
+  // --- ENC: 7-bit population count → OUTE[2:0] (four full adders).
+  const auto fa1 = b.full_adder("enc.fa1", q[0], q[1], q[2]);
+  const auto fa2 = b.full_adder("enc.fa2", q[3], q[4], q[5]);
+  const auto fa3 = b.full_adder("enc.fa3", fa1.sum, fa2.sum, q[6]);
+  const auto fa4 = b.full_adder("enc.fa4", fa1.carry, fa2.carry, fa3.carry);
+  const std::array<NodeId, 3> oute{fa3.sum, fa4.sum, fa4.carry};
+
+  // --- Configuration registers holding the internal-policy limits.
+  std::array<NodeId, 3> limit{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    limit[i] = b.launch_ff("cfg.limit" + std::to_string(i), 2);
+  }
+
+  // --- 3-bit magnitude comparator: OUTE vs limit (ripple from MSB).
+  //     gt = a2·~b2 + eq2·a1·~b1 + eq2·eq1·a0·~b0
+  std::array<NodeId, 3> eq{};
+  std::array<NodeId, 3> gt_term{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string n = "cmp.bit" + std::to_string(i);
+    const NodeId x = b.gate("XOR2_X1", {oute[i], limit[i]}, n + ".x", 2);
+    eq[i] = b.gate("INV_X1", {x}, n + ".eq", 2);
+    const NodeId nb = b.gate("INV_X1", {limit[i]}, n + ".nb", 1);
+    gt_term[i] = b.gate("AND2_X1", {oute[i], nb}, n + ".gt", 1);
+  }
+  const NodeId eq21 = b.gate("AND2_X1", {eq[2], eq[1]}, "cmp.eq21", 1);
+  const NodeId t1 = b.gate("AND2_X1", {eq[2], gt_term[1]}, "cmp.t1", 1);
+  const NodeId t0 = b.gate("AND2_X1", {eq21, gt_term[0]}, "cmp.t0", 1);
+  const NodeId gt_hi = b.gate("OR2_X1", {gt_term[2], t1}, "cmp.gt_hi", 1);
+  const NodeId gt = b.gate("OR2_X1", {gt_hi, t0}, "cmp.gt", 3);
+
+  // --- Delay-code policy: current code register, incrementer with saturate,
+  //     update mux steered by the comparator.
+  std::array<NodeId, 3> code{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    code[i] = b.launch_ff("code.reg" + std::to_string(i), 3);
+  }
+  const auto inc0 = b.half_adder("code.inc0", code[0], gt);
+  const auto inc1 = b.half_adder("code.inc1", code[1], inc0.carry);
+  const auto inc2 = b.half_adder("code.inc2", code[2], inc1.carry);
+  // Saturation: all-ones detect blocks the increment.
+  const NodeId all1a = b.gate("AND2_X1", {code[0], code[1]}, "code.all1a", 1);
+  const NodeId all1 = b.gate("AND2_X1", {all1a, code[2]}, "code.all1", 3);
+  const std::array<NodeId, 3> inc{inc0.sum, inc1.sum, inc2.sum};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string n = "code.next" + std::to_string(i);
+    const NodeId next =
+        b.gate("MUX2_X1", {inc[i], code[i], all1}, n, 1);
+    b.capture_ff("code.d" + std::to_string(i), next);
+  }
+
+  // --- Measure COUNTER: 8-bit incrementer (iterated-measure bookkeeping).
+  std::array<NodeId, 8> cnt{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    cnt[i] = b.launch_ff("cnt.reg" + std::to_string(i), 2);
+  }
+  NodeId carry = b.launch_ff("fsm.count_en", 2);
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::string n = "cnt.bit" + std::to_string(i);
+    const NodeId sum = b.gate("XOR2_X1", {cnt[i], carry}, n + ".sum", 1);
+    b.capture_ff("cnt.d" + std::to_string(i), sum);
+    if (i + 1 < 8) carry = b.gate("AND2_X1", {cnt[i], carry}, n + ".carry", 2);
+  }
+
+  // --- FSM next-state cone: 3 state bits, enable/configure inputs, and the
+  //     comparator verdict feed a few levels of random logic.
+  std::array<NodeId, 3> state{};
+  for (std::size_t i = 0; i < 3; ++i) {
+    state[i] = b.launch_ff("fsm.state" + std::to_string(i), 4);
+  }
+  const NodeId en = b.launch_ff("fsm.enable_sync", 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::string n = "fsm.ns" + std::to_string(i);
+    const NodeId a = b.gate("NAND2_X1", {state[i], state[(i + 1) % 3]},
+                            n + ".a", 1);
+    const NodeId c = b.gate("AOI21_X1", {a, en, gt}, n + ".c", 1);
+    const NodeId d = b.gate("NOR2_X1", {c, state[(i + 2) % 3]}, n + ".d", 1);
+    b.capture_ff("fsm.state_d" + std::to_string(i), d);
+  }
+
+  // --- PG select drivers: code register fans out to the MUX tree selects
+  //     (HS and LS copies), buffered.
+  for (std::size_t i = 0; i < 3; ++i) {
+    const NodeId buf = b.gate("BUF_X1", {code[i]},
+                              "pg.sel" + std::to_string(i), 6);
+    b.capture_ff("pg.sel_shadow" + std::to_string(i), buf);
+  }
+
+  return netlist;
+}
+
+CriticalPath control_critical_path(const analog::CellLibrary& lib,
+                                   ControlNetlistOptions options) {
+  return build_control_netlist(lib, options).graph.critical_path();
+}
+
+}  // namespace psnt::sta

@@ -1,0 +1,64 @@
+// Gate-level netlist of the thermometer's control system, for STA.
+//
+// The paper states: "The critical path of the whole control system at 90nm is
+// 1.22ns, thus it can work with most of the typical CUTs system clock." This
+// module reconstructs a plausible synthesis of that control system from the
+// blocks Fig. 6 names — encoder ENC (7-bit population count), the measure
+// COUNTER (8-bit incrementer), the CNTR FSM (state + delay-code policy
+// logic) and the PG select drivers — using the NLDM cell library, and runs
+// the longest-path analysis over it.
+//
+// The register-to-register path that dominates is:
+//   OUTE capture FFs →(cross-block route)→ ENC popcount tree → limit
+//   comparator → delay-code update logic → code register setup
+// Wire loads use a fanout-based estimate with a cross-block route allowance
+// (the FF arrays sit inside the CUT region, away from CNTR), which is the
+// knob calibrated against the paper's 1.22 ns (see EXPERIMENTS.md).
+#pragma once
+
+#include "analog/cell_library.h"
+#include "sta/timing_graph.h"
+
+namespace psnt::sta {
+
+struct ControlNetlistOptions {
+  // Estimated wire capacitance added per fanout connection.
+  Picofarad wire_cap_per_fanout{0.0006};
+  // Route from the sensor FF outputs (inside the CUT) to the control block.
+  Picofarad cross_block_route_cap{0.013};
+  // Representative input slew for the table lookups.
+  Picoseconds input_slew{40.0};
+};
+
+// One instantiated cell, retained so the netlist can be exported (Verilog)
+// as well as timed.
+struct GateInstance {
+  std::string cell;                 // library cell name
+  std::string name;                 // instance name (derived from the output)
+  std::vector<std::string> inputs;  // driving net names, pin order A,B,C/S
+  std::string output;               // driven net name
+};
+
+struct RegisterInstance {
+  std::string name;   // e.g. "code.d2"
+  std::string d;      // D net ("" for pure launch registers)
+  std::string q;      // Q net ("" for pure capture registers)
+};
+
+struct ControlNetlist {
+  TimingGraph graph;
+  std::size_t gate_count = 0;
+  std::size_t register_count = 0;
+  std::vector<GateInstance> gates;
+  std::vector<RegisterInstance> registers;
+};
+
+// Builds the netlist against `lib` (pass default_90nm_library()).
+[[nodiscard]] ControlNetlist build_control_netlist(
+    const analog::CellLibrary& lib, ControlNetlistOptions options = {});
+
+// Convenience: builds and analyses in one step.
+[[nodiscard]] CriticalPath control_critical_path(
+    const analog::CellLibrary& lib, ControlNetlistOptions options = {});
+
+}  // namespace psnt::sta

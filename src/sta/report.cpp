@@ -1,0 +1,59 @@
+#include "sta/report.h"
+
+#include <cstdio>
+#include <map>
+
+#include "util/error.h"
+
+namespace psnt::sta {
+
+std::string render_timing_report(const TimingGraph& graph,
+                                 const CriticalPath& path,
+                                 ReportOptions options) {
+  PSNT_CHECK(!path.nodes.empty(), "empty critical path");
+
+  // Arrival at each node of the path: recompute from the graph so the report
+  // is self-consistent even if the caller edited the path.
+  const auto arrivals = graph.arrival_times_ps();
+  std::map<std::string, double> arrival_by_name;
+  for (NodeId i = 0; i < graph.node_count(); ++i) {
+    arrival_by_name[graph.node_name(i)] = arrivals[i];
+  }
+
+  std::string out;
+  out += "  Path group: " + options.path_group + "\n";
+  char line[160];
+  std::snprintf(line, sizeof line, "  %-34s %9s %9s\n", "Point", "Incr",
+                "Path");
+  out += line;
+
+  double prev = 0.0;
+  for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+    const auto it = arrival_by_name.find(path.nodes[i]);
+    PSNT_CHECK(it != arrival_by_name.end(), "path node missing from graph");
+    const double at = it->second;
+    std::string label = path.nodes[i];
+    if (i == 0) label += " (launch)";
+    std::snprintf(line, sizeof line, "  %-34s %9.1f %9.1f\n", label.c_str(),
+                  i == 0 ? at : at - prev, at);
+    out += line;
+    prev = at;
+  }
+  // Final setup increment (the difference between the path arrival — which
+  // includes the sink setup — and the last node's arrival).
+  const double setup_incr = path.arrival.value() - prev;
+  std::snprintf(line, sizeof line, "  %-34s %9.1f %9.1f\n", "(setup)",
+                setup_incr, path.arrival.value());
+  out += line;
+
+  const double slack = options.clock_period.value() - path.arrival.value();
+  std::snprintf(line, sizeof line, "  %-34s %9s %9.1f  %s\n",
+                ("slack (period " +
+                 std::to_string(options.clock_period.value()) + " ps)")
+                    .c_str(),
+                "", slack, slack >= 0.0 ? "MET" : "VIOLATED");
+  out += line;
+  return out;
+}
+
+}  // namespace psnt::sta

@@ -1,0 +1,30 @@
+// Sign-off-style timing report rendering.
+//
+// Turns a CriticalPath plus its graph into the familiar per-stage listing
+// (point, incr, path) so the reproduction of the paper's 1.22 ns claim reads
+// like the tool output a designer would check it against.
+#pragma once
+
+#include <string>
+
+#include "sta/timing_graph.h"
+
+namespace psnt::sta {
+
+struct ReportOptions {
+  Picoseconds clock_period{1250.0};  // for the slack line
+  std::string path_group = "reg2reg";
+};
+
+// Renders:
+//   Point                          Incr     Path
+//   hs.out0 (launch)              247.0    247.0
+//   enc.fa1.axb                    81.9    328.9
+//   ...
+//   code.d2 (setup)                55.0   1220.1
+//   slack (period 1250.0)                   29.9  MET
+[[nodiscard]] std::string render_timing_report(const TimingGraph& graph,
+                                               const CriticalPath& path,
+                                               ReportOptions options = {});
+
+}  // namespace psnt::sta

@@ -1,0 +1,95 @@
+#include "stats/fft.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::stats {
+
+std::size_t next_pow2(std::size_t n) {
+  PSNT_CHECK(n >= 1, "next_pow2 needs n >= 1");
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  PSNT_CHECK(n > 0 && (n & (n - 1)) == 0, "FFT size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+Spectrum amplitude_spectrum(const std::vector<double>& samples,
+                            double sample_rate_hz, bool hann_window) {
+  PSNT_CHECK(samples.size() >= 4, "spectrum needs at least four samples");
+  PSNT_CHECK(sample_rate_hz > 0.0, "sample rate must be positive");
+
+  double mean = 0.0;
+  for (double s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+
+  const std::size_t n = next_pow2(samples.size());
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  double window_gain = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    double w = 1.0;
+    if (hann_window) {
+      w = 0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) /
+                                static_cast<double>(samples.size() - 1)));
+    }
+    window_gain += w;
+    buf[i] = {(samples[i] - mean) * w, 0.0};
+  }
+  fft(buf);
+
+  Spectrum spec;
+  spec.bin_hz = sample_rate_hz / static_cast<double>(n);
+  const std::size_t half = n / 2 + 1;
+  spec.amplitude.resize(half);
+  // Coherent-gain normalisation: a full-scale sine recovers its amplitude.
+  const double scale = 2.0 / window_gain;
+  for (std::size_t k = 0; k < half; ++k) {
+    spec.amplitude[k] = std::abs(buf[k]) * scale;
+  }
+  spec.amplitude[0] /= 2.0;  // DC is single-sided already
+  return spec;
+}
+
+double dominant_frequency_hz(const std::vector<double>& samples,
+                             double sample_rate_hz) {
+  const Spectrum spec = amplitude_spectrum(samples, sample_rate_hz);
+  std::size_t best = 1;
+  for (std::size_t k = 2; k < spec.bins(); ++k) {
+    if (spec.amplitude[k] > spec.amplitude[best]) best = k;
+  }
+  return spec.frequency_of(best);
+}
+
+}  // namespace psnt::stats

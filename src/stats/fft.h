@@ -1,0 +1,42 @@
+// Radix-2 FFT and single-sided amplitude spectra.
+//
+// Used to verify the PDN substrate spectrally (the solver's ring frequency
+// must match 1/(2π√LC)) and to locate the dominant noise tone a measured
+// rail waveform carries — the quantity a verification engineer extracts
+// from a captured PSN trace.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace psnt::stats {
+
+// In-place iterative radix-2 Cooley–Tukey. data.size() must be a power of
+// two. `inverse` applies the conjugate transform including the 1/N scale.
+void fft(std::vector<std::complex<double>>& data, bool inverse = false);
+
+// Next power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_pow2(std::size_t n);
+
+struct Spectrum {
+  double bin_hz = 0.0;                  // frequency resolution
+  std::vector<double> amplitude;        // single-sided, DC..Nyquist
+  [[nodiscard]] std::size_t bins() const { return amplitude.size(); }
+  [[nodiscard]] double frequency_of(std::size_t bin) const {
+    return bin_hz * static_cast<double>(bin);
+  }
+};
+
+// Single-sided amplitude spectrum of a uniformly sampled real series. The
+// series is mean-removed, zero-padded to a power of two and (optionally)
+// Hann-windowed. sample_rate_hz > 0.
+[[nodiscard]] Spectrum amplitude_spectrum(const std::vector<double>& samples,
+                                          double sample_rate_hz,
+                                          bool hann_window = true);
+
+// Frequency (Hz) of the largest non-DC spectral line.
+[[nodiscard]] double dominant_frequency_hz(const std::vector<double>& samples,
+                                           double sample_rate_hz);
+
+}  // namespace psnt::stats

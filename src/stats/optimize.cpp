@@ -1,0 +1,116 @@
+#include "stats/optimize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::stats {
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double fx;
+};
+
+std::vector<double> centroid_excluding_worst(const std::vector<Vertex>& simplex) {
+  const std::size_t dim = simplex.front().x.size();
+  std::vector<double> c(dim, 0.0);
+  for (std::size_t i = 0; i + 1 < simplex.size(); ++i) {
+    for (std::size_t j = 0; j < dim; ++j) c[j] += simplex[i].x[j];
+  }
+  for (double& v : c) v /= static_cast<double>(simplex.size() - 1);
+  return c;
+}
+
+std::vector<double> affine(const std::vector<double>& c,
+                           const std::vector<double>& x, double t) {
+  // c + t * (c - x)
+  std::vector<double> out(c.size());
+  for (std::size_t j = 0; j < c.size(); ++j) out[j] = c[j] + t * (c[j] - x[j]);
+  return out;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead(const Objective& f, std::vector<double> x0,
+                             NelderMeadOptions options) {
+  PSNT_CHECK(!x0.empty(), "nelder_mead needs at least one dimension");
+  const std::size_t dim = x0.size();
+
+  std::vector<Vertex> simplex;
+  simplex.reserve(dim + 1);
+  simplex.push_back({x0, f(x0)});
+  for (std::size_t j = 0; j < dim; ++j) {
+    std::vector<double> x = x0;
+    const double step =
+        x[j] != 0.0 ? options.initial_step * std::fabs(x[j]) : options.initial_step;
+    x[j] += step;
+    simplex.push_back({x, f(x)});
+  }
+
+  NelderMeadResult result;
+  auto by_f = [](const Vertex& a, const Vertex& b) { return a.fx < b.fx; };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::sort(simplex.begin(), simplex.end(), by_f);
+    result.iterations = iter;
+
+    const double spread = std::fabs(simplex.back().fx - simplex.front().fx);
+    if (spread < options.f_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    const auto c = centroid_excluding_worst(simplex);
+    Vertex& worst = simplex.back();
+    const Vertex& best = simplex.front();
+    const Vertex& second_worst = simplex[simplex.size() - 2];
+
+    // Reflection.
+    auto xr = affine(c, worst.x, options.reflection);
+    const double fr = f(xr);
+    if (fr < best.fx) {
+      // Expansion.
+      auto xe = affine(c, worst.x, options.expansion);
+      const double fe = f(xe);
+      if (fe < fr) {
+        worst = {std::move(xe), fe};
+      } else {
+        worst = {std::move(xr), fr};
+      }
+      continue;
+    }
+    if (fr < second_worst.fx) {
+      worst = {std::move(xr), fr};
+      continue;
+    }
+
+    // Contraction (outside if the reflected point improved on the worst).
+    const bool outside = fr < worst.fx;
+    auto xc = outside ? affine(c, xr, -options.contraction)
+                      : affine(c, worst.x, -options.contraction);
+    const double fc = f(xc);
+    if (fc < std::min(fr, worst.fx)) {
+      worst = {std::move(xc), fc};
+      continue;
+    }
+
+    // Shrink toward the best vertex.
+    for (std::size_t i = 1; i < simplex.size(); ++i) {
+      for (std::size_t j = 0; j < dim; ++j) {
+        simplex[i].x[j] =
+            best.x[j] + options.shrink * (simplex[i].x[j] - best.x[j]);
+      }
+      simplex[i].fx = f(simplex[i].x);
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_f);
+  result.x = simplex.front().x;
+  result.fx = simplex.front().fx;
+  return result;
+}
+
+}  // namespace psnt::stats

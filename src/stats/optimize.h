@@ -1,0 +1,39 @@
+// Derivative-free minimisation (Nelder–Mead downhill simplex).
+//
+// Calibration (src/calib) fits the alpha-power delay-model parameters to the
+// paper's quoted anchor points by minimising a sum-of-squares residual; the
+// objective is smooth but has no cheap analytic gradient, which is exactly
+// the Nelder–Mead niche.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace psnt::stats {
+
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double f_tolerance = 1e-12;   // stop when simplex f-spread drops below this
+  double initial_step = 0.05;   // relative perturbation for the start simplex
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+using Objective = std::function<double(const std::vector<double>&)>;
+
+// Minimises `f` starting from `x0`. Parameters may be constrained by the
+// objective itself (return a large penalty outside the feasible region).
+[[nodiscard]] NelderMeadResult nelder_mead(const Objective& f,
+                                           std::vector<double> x0,
+                                           NelderMeadOptions options = {});
+
+}  // namespace psnt::stats

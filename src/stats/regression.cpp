@@ -1,0 +1,48 @@
+#include "stats/regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::stats {
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  PSNT_CHECK(xs.size() == ys.size(), "x/y series must have equal length");
+  PSNT_CHECK(xs.size() >= 2, "line fit needs at least two points");
+
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  PSNT_CHECK(sxx > 0.0, "x values must not be all identical");
+
+  LinearFit fit;
+  fit.n = xs.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double r = ys[i] - fit.predict(xs[i]);
+    ss_res += r * r;
+    fit.max_abs_residual = std::max(fit.max_abs_residual, std::fabs(r));
+  }
+  fit.r_squared = syy == 0.0 ? 1.0 : 1.0 - ss_res / syy;
+  return fit;
+}
+
+}  // namespace psnt::stats

@@ -1,0 +1,28 @@
+// Least-squares line fitting.
+//
+// The paper leans on two near-linear relations (DS delay vs VDD-n in Fig. 2,
+// threshold vs capacitance in Fig. 4); tests and benches quantify that
+// linearity with this fitter (slope, intercept, R^2, max residual).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace psnt::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+  double max_abs_residual = 0.0;
+  std::size_t n = 0;
+
+  [[nodiscard]] double predict(double x) const { return slope * x + intercept; }
+};
+
+// Ordinary least squares on paired samples. Requires xs.size() == ys.size()
+// and at least two points.
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+}  // namespace psnt::stats

@@ -1,0 +1,32 @@
+#include "util/error.h"
+
+namespace psnt::util {
+
+std::string_view to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  std::string out{psnt::util::to_string(code)};
+  out += ": ";
+  out += message;
+  return out;
+}
+
+}  // namespace psnt::util

@@ -1,0 +1,47 @@
+#include "util/logging.h"
+
+#include <cstdio>
+
+namespace psnt::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::global() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_sink(LogSink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, std::string_view message) {
+  if (!enabled(level)) return;
+  if (static_cast<int>(level) >= static_cast<int>(LogLevel::kWarn)) {
+    ++warning_count_;
+  }
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[psnt %.*s] %.*s\n",
+               static_cast<int>(to_string(level).size()),
+               to_string(level).data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace psnt::util

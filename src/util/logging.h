@@ -1,0 +1,85 @@
+// Leveled logging with a swappable sink.
+//
+// The simulator uses this for waveform-adjacent diagnostics; benches keep it
+// at kWarn so google-benchmark output stays clean. Not thread-safe by design:
+// the whole library is single-threaded per simulation instance.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace psnt::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+class Logger {
+ public:
+  // Global logger used by the PSNT_LOG macro.
+  static Logger& global();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  // Replaces the output sink; default writes to stderr.
+  void set_sink(LogSink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  void log(LogLevel level, std::string_view message);
+
+  // Number of messages emitted at >= kWarn since construction; tests use this
+  // to assert that a scenario was clean.
+  [[nodiscard]] long warning_count() const { return warning_count_; }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  LogSink sink_;
+  long warning_count_ = 0;
+};
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(Logger& logger, LogLevel level) : logger_(logger), level_(level) {}
+  ~LogMessage() { logger_.log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Logger& logger_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define PSNT_LOG(level)                                                   \
+  if (::psnt::util::Logger::global().enabled(level))                     \
+  ::psnt::util::detail::LogMessage(::psnt::util::Logger::global(), level)
+
+#define PSNT_LOG_INFO PSNT_LOG(::psnt::util::LogLevel::kInfo)
+#define PSNT_LOG_WARN PSNT_LOG(::psnt::util::LogLevel::kWarn)
+#define PSNT_LOG_ERROR PSNT_LOG(::psnt::util::LogLevel::kError)
+#define PSNT_LOG_DEBUG PSNT_LOG(::psnt::util::LogLevel::kDebug)
+
+}  // namespace psnt::util

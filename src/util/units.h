@@ -1,0 +1,207 @@
+// Strong unit types used across the PSN thermometer library.
+//
+// All analog quantities in this codebase are carried in explicitly named
+// units so that a voltage can never be silently added to a delay:
+//   Volt         — electrical potential, stored in volts
+//   Picoseconds  — analog time, stored in picoseconds (double)
+//   Picofarad    — capacitance, stored in picofarads
+//   Celsius      — junction temperature
+//   Ampere       — current (for the PDN substrate)
+//   Ohm / NanoHenry — PDN parasitics
+//
+// The wrappers are ergonomic doubles: they support the arithmetic that is
+// dimensionally meaningful (V±V, V*scalar, ps/ps → scalar, ...) and nothing
+// else. User-defined literals live in psnt::literals.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace psnt {
+
+namespace detail {
+
+// CRTP base providing the shared ergonomics of a one-dimensional unit.
+template <typename Derived>
+class UnitBase {
+ public:
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr auto operator<=>(const Derived& a, const Derived& b) {
+    return a.value() <=> b.value();
+  }
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.value() == b.value();
+  }
+
+  friend constexpr Derived operator+(const Derived& a, const Derived& b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(const Derived& a, const Derived& b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator-(const Derived& a) {
+    return Derived{-a.value()};
+  }
+  friend constexpr Derived operator*(const Derived& a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, const Derived& a) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator/(const Derived& a, double s) {
+    return Derived{a.value() / s};
+  }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(const Derived& a, const Derived& b) {
+    return a.value() / b.value();
+  }
+
+  constexpr Derived& operator+=(const Derived& b) {
+    value_ += b.value();
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(const Derived& b) {
+    value_ -= b.value();
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator*=(double s) {
+    value_ *= s;
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+class Volt : public detail::UnitBase<Volt> {
+  using UnitBase::UnitBase;
+};
+
+class Picoseconds : public detail::UnitBase<Picoseconds> {
+  using UnitBase::UnitBase;
+};
+
+class Picofarad : public detail::UnitBase<Picofarad> {
+  using UnitBase::UnitBase;
+};
+
+class Celsius : public detail::UnitBase<Celsius> {
+  using UnitBase::UnitBase;
+};
+
+class Ampere : public detail::UnitBase<Ampere> {
+  using UnitBase::UnitBase;
+};
+
+class Ohm : public detail::UnitBase<Ohm> {
+  using UnitBase::UnitBase;
+};
+
+class NanoHenry : public detail::UnitBase<NanoHenry> {
+  using UnitBase::UnitBase;
+};
+
+// Mixed-dimension products that the models actually need.
+// Q = C * V  → charge in pC; I * R → V; etc. We only define the ones used.
+[[nodiscard]] constexpr Volt operator*(const Ampere& i, const Ohm& r) {
+  return Volt{i.value() * r.value()};
+}
+[[nodiscard]] constexpr Volt operator*(const Ohm& r, const Ampere& i) {
+  return i * r;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Volt& v) {
+  return os << v.value() << " V";
+}
+inline std::ostream& operator<<(std::ostream& os, const Picoseconds& t) {
+  return os << t.value() << " ps";
+}
+inline std::ostream& operator<<(std::ostream& os, const Picofarad& c) {
+  return os << c.value() << " pF";
+}
+inline std::ostream& operator<<(std::ostream& os, const Celsius& t) {
+  return os << t.value() << " degC";
+}
+inline std::ostream& operator<<(std::ostream& os, const Ampere& i) {
+  return os << i.value() << " A";
+}
+
+namespace literals {
+
+constexpr Volt operator""_V(long double v) {
+  return Volt{static_cast<double>(v)};
+}
+constexpr Volt operator""_V(unsigned long long v) {
+  return Volt{static_cast<double>(v)};
+}
+constexpr Volt operator""_mV(long double v) {
+  return Volt{static_cast<double>(v) * 1e-3};
+}
+constexpr Volt operator""_mV(unsigned long long v) {
+  return Volt{static_cast<double>(v) * 1e-3};
+}
+constexpr Picoseconds operator""_ps(long double v) {
+  return Picoseconds{static_cast<double>(v)};
+}
+constexpr Picoseconds operator""_ps(unsigned long long v) {
+  return Picoseconds{static_cast<double>(v)};
+}
+constexpr Picoseconds operator""_ns(long double v) {
+  return Picoseconds{static_cast<double>(v) * 1e3};
+}
+constexpr Picoseconds operator""_ns(unsigned long long v) {
+  return Picoseconds{static_cast<double>(v) * 1e3};
+}
+constexpr Picofarad operator""_pF(long double v) {
+  return Picofarad{static_cast<double>(v)};
+}
+constexpr Picofarad operator""_pF(unsigned long long v) {
+  return Picofarad{static_cast<double>(v)};
+}
+constexpr Picofarad operator""_fF(long double v) {
+  return Picofarad{static_cast<double>(v) * 1e-3};
+}
+constexpr Picofarad operator""_fF(unsigned long long v) {
+  return Picofarad{static_cast<double>(v) * 1e-3};
+}
+constexpr Celsius operator""_degC(long double v) {
+  return Celsius{static_cast<double>(v)};
+}
+constexpr Celsius operator""_degC(unsigned long long v) {
+  return Celsius{static_cast<double>(v)};
+}
+constexpr Ampere operator""_A(long double v) {
+  return Ampere{static_cast<double>(v)};
+}
+constexpr Ampere operator""_mA(long double v) {
+  return Ampere{static_cast<double>(v) * 1e-3};
+}
+constexpr Ohm operator""_Ohm(long double v) {
+  return Ohm{static_cast<double>(v)};
+}
+constexpr Ohm operator""_mOhm(long double v) {
+  return Ohm{static_cast<double>(v) * 1e-3};
+}
+constexpr NanoHenry operator""_nH(long double v) {
+  return NanoHenry{static_cast<double>(v)};
+}
+
+}  // namespace literals
+
+// Approximate comparison helpers used throughout tests and calibration.
+[[nodiscard]] inline bool near(Volt a, Volt b, Volt tol) {
+  return std::fabs(a.value() - b.value()) <= tol.value();
+}
+[[nodiscard]] inline bool near(Picoseconds a, Picoseconds b, Picoseconds tol) {
+  return std::fabs(a.value() - b.value()) <= tol.value();
+}
+
+}  // namespace psnt

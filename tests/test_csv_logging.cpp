@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/logging.h"
+
+namespace psnt::util {
+namespace {
+
+TEST(Csv, BuildsRowsAndCounts) {
+  CsvTable t({"code", "delay_ps"});
+  t.new_row().add("011").add(65.0);
+  t.new_row().add("100").add(77.0);
+  EXPECT_EQ(t.row_count(), 2u);
+  EXPECT_EQ(t.column_count(), 2u);
+  EXPECT_EQ(t.rows()[0][0], "011");
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  CsvTable t({"a", "b"});
+  t.new_row().add("x").add(1LL);
+  EXPECT_EQ(t.to_csv_string(), "a,b\nx,1\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  CsvTable t({"name"});
+  t.new_row().add("volts, measured");
+  t.new_row().add("say \"hi\"");
+  const std::string out = t.to_csv_string();
+  EXPECT_NE(out.find("\"volts, measured\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Csv, DoublePrecisionControl) {
+  CsvTable t({"v"});
+  t.new_row().add(0.93604567, 4);
+  EXPECT_EQ(t.to_csv_string(), "v\n0.936\n");
+}
+
+TEST(Csv, RejectsTooManyCells) {
+  CsvTable t({"only"});
+  t.new_row().add("one");
+  EXPECT_THROW(t.add("two"), std::logic_error);
+}
+
+TEST(Csv, RejectsAddBeforeRow) {
+  CsvTable t({"c"});
+  EXPECT_THROW(t.add("x"), std::logic_error);
+}
+
+TEST(Csv, PrettyAlignsColumns) {
+  CsvTable t({"id", "value"});
+  t.new_row().add("a").add("1");
+  std::ostringstream os;
+  t.write_pretty(os);
+  EXPECT_NE(os.str().find("id"), std::string::npos);
+  EXPECT_NE(os.str().find("value"), std::string::npos);
+}
+
+TEST(Logging, SinkReceivesEnabledMessages) {
+  Logger logger;
+  std::string captured;
+  logger.set_sink([&captured](LogLevel, std::string_view msg) {
+    captured.assign(msg);
+  });
+  logger.set_level(LogLevel::kInfo);
+  logger.log(LogLevel::kInfo, "hello");
+  EXPECT_EQ(captured, "hello");
+}
+
+TEST(Logging, LevelFiltersBelowThreshold) {
+  Logger logger;
+  int calls = 0;
+  logger.set_sink([&calls](LogLevel, std::string_view) { ++calls; });
+  logger.set_level(LogLevel::kWarn);
+  logger.log(LogLevel::kDebug, "dropped");
+  logger.log(LogLevel::kInfo, "dropped");
+  logger.log(LogLevel::kError, "kept");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Logging, CountsWarningsAndErrors) {
+  Logger logger;
+  logger.set_sink([](LogLevel, std::string_view) {});
+  logger.set_level(LogLevel::kTrace);
+  logger.log(LogLevel::kInfo, "fine");
+  logger.log(LogLevel::kWarn, "warn");
+  logger.log(LogLevel::kError, "err");
+  EXPECT_EQ(logger.warning_count(), 2);
+}
+
+TEST(Logging, LevelNames) {
+  EXPECT_EQ(to_string(LogLevel::kWarn), "WARN");
+  EXPECT_EQ(to_string(LogLevel::kTrace), "TRACE");
+}
+
+}  // namespace
+}  // namespace psnt::util

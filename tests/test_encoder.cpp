@@ -1,0 +1,70 @@
+#include "core/encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace psnt::core {
+namespace {
+
+TEST(Encoder, MajorityCountsOnes) {
+  Encoder enc{BubblePolicy::kMajority};
+  const auto out = enc.encode(ThermoWord::from_string("0011111"));
+  EXPECT_EQ(out.count, 5);
+  EXPECT_EQ(out.binary, 5);
+  EXPECT_TRUE(out.valid);
+  EXPECT_FALSE(out.underflow);
+  EXPECT_FALSE(out.overflow);
+  EXPECT_EQ(out.bubble_errors, 0);
+}
+
+TEST(Encoder, MajorityToleratesBubbles) {
+  Encoder enc{BubblePolicy::kMajority};
+  const auto out = enc.encode(ThermoWord::from_string("0101111"));
+  EXPECT_EQ(out.count, 5);  // popcount unaffected by the bubble
+  EXPECT_TRUE(out.valid);
+  EXPECT_EQ(out.bubble_errors, 2);
+}
+
+TEST(Encoder, RejectFlagsBubbles) {
+  Encoder enc{BubblePolicy::kReject};
+  EXPECT_TRUE(enc.encode(ThermoWord::from_string("0011111")).valid);
+  const auto bad = enc.encode(ThermoWord::from_string("0101111"));
+  EXPECT_FALSE(bad.valid);
+  EXPECT_EQ(bad.count, 5);
+}
+
+TEST(Encoder, FirstZeroUnderReadsOnBubbles) {
+  Encoder enc{BubblePolicy::kFirstZero};
+  EXPECT_EQ(enc.encode(ThermoWord::from_string("0011111")).count, 5);
+  // Bubble at bit 2: ripple encoder stops there.
+  EXPECT_EQ(enc.encode(ThermoWord::from_string("0111011")).count, 2);
+}
+
+TEST(Encoder, UnderflowOverflowFlags) {
+  Encoder enc;
+  const auto lo = enc.encode(ThermoWord::from_string("0000000"));
+  EXPECT_TRUE(lo.underflow);
+  EXPECT_FALSE(lo.overflow);
+  EXPECT_EQ(lo.count, 0);
+  const auto hi = enc.encode(ThermoWord::from_string("1111111"));
+  EXPECT_TRUE(hi.overflow);
+  EXPECT_FALSE(hi.underflow);
+  EXPECT_EQ(hi.count, 7);
+}
+
+TEST(Encoder, AllCountsRoundTrip) {
+  Encoder enc;
+  for (std::size_t ones = 0; ones <= 7; ++ones) {
+    const auto out = enc.encode(ThermoWord::of_count(ones, 7));
+    EXPECT_EQ(out.count, ones);
+    EXPECT_EQ(out.binary, ones);
+  }
+}
+
+TEST(Encoder, PolicyNames) {
+  EXPECT_STREQ(to_string(BubblePolicy::kReject), "reject");
+  EXPECT_STREQ(to_string(BubblePolicy::kMajority), "majority");
+  EXPECT_STREQ(to_string(BubblePolicy::kFirstZero), "first-zero");
+}
+
+}  // namespace
+}  // namespace psnt::core

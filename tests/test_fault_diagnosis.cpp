@@ -1,0 +1,129 @@
+#include "core/fault_diagnosis.h"
+
+#include <gtest/gtest.h>
+
+#include "calib/fit.h"
+#include "core/sensor_array.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+struct Rig {
+  const calib::CalibratedModel& model = calib::calibrated().model;
+  SensorArray array = calib::make_paper_array(model);
+  Picoseconds skew = model.skew(DelayCode{3});
+
+  // Healthy measurement source.
+  std::function<ThermoWord(Volt)> healthy() const {
+    return [this](Volt v) { return array.measure(v, skew); };
+  }
+
+  // Fault injector wrapping the healthy source.
+  std::function<ThermoWord(Volt)> with_fault(std::size_t bit,
+                                             bool stuck_value) const {
+    return [this, bit, stuck_value](Volt v) {
+      ThermoWord w = array.measure(v, skew);
+      w.set_bit(bit, stuck_value);
+      return w;
+    };
+  }
+};
+
+TEST(FaultDiagnosis, HealthyArrayPassesSelfTest) {
+  Rig rig;
+  const auto report =
+      diagnose_cells(rig.healthy(), 0.75_V, 1.15_V, 100);
+  EXPECT_TRUE(report.all_healthy());
+  EXPECT_EQ(report.faulty_count(), 0u);
+  ASSERT_EQ(report.cells.size(), 7u);
+  // Flip voltages reproduce the thresholds in order.
+  const auto thr = rig.array.thresholds(rig.skew);
+  for (std::size_t b = 0; b < 7; ++b) {
+    ASSERT_TRUE(report.cells[b].flip_voltage.has_value()) << b;
+    EXPECT_NEAR(report.cells[b].flip_voltage->value(), thr[b].value(), 0.006)
+        << b;
+    EXPECT_EQ(report.cells[b].flip_count, 1u);
+  }
+}
+
+TEST(FaultDiagnosis, DetectsStuckLow) {
+  Rig rig;
+  const auto report =
+      diagnose_cells(rig.with_fault(4, false), 0.75_V, 1.15_V, 80);
+  EXPECT_FALSE(report.all_healthy());
+  EXPECT_EQ(report.faulty_count(), 1u);
+  EXPECT_EQ(report.cells[4].health, CellHealth::kStuckLow);
+  EXPECT_FALSE(report.cells[4].flip_voltage.has_value());
+  // Every other cell still healthy.
+  for (std::size_t b = 0; b < 7; ++b) {
+    if (b == 4) continue;
+    EXPECT_EQ(report.cells[b].health, CellHealth::kHealthy) << b;
+  }
+}
+
+TEST(FaultDiagnosis, DetectsStuckHigh) {
+  Rig rig;
+  const auto report =
+      diagnose_cells(rig.with_fault(1, true), 0.75_V, 1.15_V, 80);
+  EXPECT_EQ(report.cells[1].health, CellHealth::kStuckHigh);
+  EXPECT_EQ(report.faulty_count(), 1u);
+}
+
+TEST(FaultDiagnosis, DetectsMarginalCell) {
+  Rig rig;
+  // Inject a bit that chatters with voltage (parity of the sweep index).
+  int call = 0;
+  auto noisy = [&rig, &call](Volt v) {
+    ThermoWord w = rig.array.measure(v, rig.skew);
+    if (v.value() > 0.9 && v.value() < 1.0) {
+      w.set_bit(3, (call++ % 2) == 0);
+    }
+    return w;
+  };
+  const auto report = diagnose_cells(noisy, 0.75_V, 1.15_V, 80);
+  EXPECT_EQ(report.cells[3].health, CellHealth::kMarginal);
+  EXPECT_GT(report.cells[3].flip_count, 1u);
+}
+
+TEST(FaultDiagnosis, SweepMustCoverTheWindow) {
+  Rig rig;
+  // A sweep entirely below every threshold sees all-stuck-low — the report
+  // itself is the hint that the window was missed.
+  const auto report = diagnose_cells(rig.healthy(), 0.60_V, 0.75_V, 30);
+  EXPECT_EQ(report.faulty_count(), 7u);
+  for (const auto& c : report.cells) {
+    EXPECT_EQ(c.health, CellHealth::kStuckLow);
+  }
+}
+
+TEST(FaultDiagnosis, ReportRendering) {
+  Rig rig;
+  const auto report =
+      diagnose_cells(rig.with_fault(0, false), 0.75_V, 1.15_V, 40);
+  const std::string text = report.to_string();
+  EXPECT_NE(text.find("bit 0: stuck-low"), std::string::npos);
+  EXPECT_NE(text.find("bit 1: healthy"), std::string::npos);
+  EXPECT_NE(text.find("flips at"), std::string::npos);
+}
+
+TEST(FaultDiagnosis, HealthNames) {
+  EXPECT_STREQ(to_string(CellHealth::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(CellHealth::kStuckLow), "stuck-low");
+  EXPECT_STREQ(to_string(CellHealth::kStuckHigh), "stuck-high");
+  EXPECT_STREQ(to_string(CellHealth::kMarginal), "marginal");
+}
+
+TEST(FaultDiagnosis, Validation) {
+  Rig rig;
+  EXPECT_THROW(
+      (void)diagnose_cells(rig.healthy(), 1.0_V, 0.9_V, 10),
+      std::logic_error);
+  EXPECT_THROW(
+      (void)diagnose_cells(rig.healthy(), 0.8_V, 1.1_V, 2),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace psnt::core

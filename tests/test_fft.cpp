@@ -1,0 +1,110 @@
+#include "stats/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "psn/pdn.h"
+
+namespace psnt::stats {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_THROW((void)next_pow2(0), std::logic_error);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft(data), std::logic_error);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 64; ++i) {
+    data.emplace_back(std::sin(i * 0.3) + 0.2 * i, std::cos(i * 0.7));
+  }
+  auto original = data;
+  fft(data);
+  fft(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-10);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-10);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 128; ++i) data.emplace_back(std::sin(i * 0.51), 0.0);
+  double time_energy = 0.0;
+  for (const auto& x : data) time_energy += std::norm(x);
+  fft(data);
+  double freq_energy = 0.0;
+  for (const auto& x : data) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-8);
+}
+
+TEST(Spectrum, PureToneRecoversFrequencyAndAmplitude) {
+  // 10 MHz tone, 0.05 amplitude, sampled at 1 GS/s for 4096 samples.
+  const double fs = 1e9;
+  const double f0 = 10e6;
+  std::vector<double> samples(4096);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    samples[i] = 1.0 + 0.05 * std::sin(2.0 * M_PI * f0 *
+                                       static_cast<double>(i) / fs);
+  }
+  const Spectrum spec = amplitude_spectrum(samples, fs);
+  const double f_found = dominant_frequency_hz(samples, fs);
+  EXPECT_NEAR(f_found, f0, spec.bin_hz * 1.5);
+  // Amplitude within 10% (Hann scalloping bounded).
+  std::size_t peak = 1;
+  for (std::size_t k = 2; k < spec.bins(); ++k) {
+    if (spec.amplitude[k] > spec.amplitude[peak]) peak = k;
+  }
+  EXPECT_NEAR(spec.amplitude[peak], 0.05, 0.008);
+}
+
+TEST(Spectrum, DominantOfTwoTones) {
+  const double fs = 1e9;
+  std::vector<double> samples(2048);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const double t = static_cast<double>(i) / fs;
+    samples[i] = 0.02 * std::sin(2.0 * M_PI * 5e6 * t) +
+                 0.06 * std::sin(2.0 * M_PI * 40e6 * t);
+  }
+  EXPECT_NEAR(dominant_frequency_hz(samples, fs), 40e6, 1e6);
+}
+
+TEST(Spectrum, ValidatesInputs) {
+  EXPECT_THROW((void)amplitude_spectrum({1.0, 2.0}, 1e9), std::logic_error);
+  EXPECT_THROW((void)amplitude_spectrum({1, 2, 3, 4}, 0.0),
+               std::logic_error);
+}
+
+TEST(Spectrum, PdnRingFrequencyMatchesAnalytic) {
+  // The integration that motivates the module: the solver's damped ring must
+  // sit at the analytic resonance.
+  psn::LumpedPdnParams p;
+  p.v_reg = 1.0_V;
+  p.resistance = Ohm{0.004};
+  p.inductance = NanoHenry{0.08};
+  p.decap = Picofarad{120000.0};
+  psn::LumpedPdn pdn{p};
+  psn::StepCurrent load{Ampere{1.0}, Ampere{3.0}, 5000.0_ps};
+  const psn::Waveform wave = pdn.solve(load, 400000.0_ps, 25.0_ps);
+
+  const double fs = 1.0 / (25.0e-12);  // 25 ps sampling
+  const double f_found = dominant_frequency_hz(wave.samples(), fs);
+  const double f_expected = pdn.resonant_frequency_ghz() * 1e9;
+  EXPECT_NEAR(f_found, f_expected, 0.06 * f_expected);
+}
+
+}  // namespace
+}  // namespace psnt::stats

@@ -1,0 +1,120 @@
+// The complete gate-level system: synthesized FSM + registered command pair
+// + PG + sensor array, cross-validated against the behavioral model.
+#include "core/full_system.h"
+
+#include <gtest/gtest.h>
+
+#include "calib/fit.h"
+#include "sim/probe.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+struct SystemRig {
+  sim::Simulator sim;
+  analog::ConstantRail vdd;
+  PulseGenerator pg{calib::calibrated().model.pg_config()};
+  SensorArray array = calib::make_paper_array(calib::calibrated().model);
+  FullStructuralSystem system;
+
+  SystemRig(double volts, DelayCode code,
+            SensePolarity polarity = SensePolarity::kHighSense)
+      : vdd(Volt{volts}),
+        system(sim, "sys", array, pg,
+               polarity == SensePolarity::kHighSense
+                   ? analog::RailPair{&vdd, nullptr}
+                   : analog::RailPair{&nominal_rail(), &vdd},
+               [&] {
+                 FullStructuralSystem::Config cfg;
+                 cfg.code = code;
+                 cfg.polarity = polarity;
+                 return cfg;
+               }()) {}
+
+  static analog::ConstantRail& nominal_rail() {
+    static analog::ConstantRail rail{1.0_V};
+    return rail;
+  }
+};
+
+TEST(FullSystem, Fig9FirstMeasureAtGateLevel) {
+  SystemRig rig(1.0, DelayCode{3});
+  const auto words = rig.system.run_measures(1);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0].to_string(), "0011111");
+}
+
+TEST(FullSystem, Fig9SecondMeasureAtGateLevel) {
+  SystemRig rig(0.9, DelayCode{3});
+  const auto words = rig.system.run_measures(1);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0].to_string(), "0000011");
+}
+
+TEST(FullSystem, BackToBackMeasuresAreStable) {
+  SystemRig rig(0.97, DelayCode{3});
+  const auto words = rig.system.run_measures(3);
+  ASSERT_EQ(words.size(), 3u);
+  for (const auto& w : words) {
+    EXPECT_EQ(w.to_string(), "0001111");
+  }
+}
+
+TEST(FullSystem, RegisteredCommandsPreserveTheSkew) {
+  // The P→CP skew at the sensor must equal insertion + tap even though the
+  // FSM decode cones for the two commands have different depths.
+  SystemRig rig(1.0, DelayCode{3});
+  sim::TransitionRecorder p_rec(*rig.system.sensor().p);
+  sim::TransitionRecorder cp_rec(*rig.system.sensor().cp);
+  (void)rig.system.run_measures(1);
+  const auto p_fall = p_rec.last_fall();
+  ASSERT_TRUE(p_fall.has_value());
+  const auto cp_rise = cp_rec.first_rise_after(*p_fall);
+  ASSERT_TRUE(cp_rise.has_value());
+  EXPECT_NEAR(cp_rise->value() - p_fall->value(),
+              rig.pg.skew(DelayCode{3}).value(), 0.01);
+}
+
+TEST(FullSystem, FsmCodeRegisterLoadedViaInit) {
+  SystemRig rig(1.0, DelayCode{5});
+  (void)rig.system.run_measures(1);
+  EXPECT_EQ(rig.system.fsm().decoded_code(), DelayCode{5});
+}
+
+TEST(FullSystem, LowSensePolarityMeasuresGroundBounce) {
+  // 100 mV bounce → effective 0.9 V → the Fig. 9 second word.
+  SystemRig rig(0.10, DelayCode{3}, SensePolarity::kLowSense);
+  const auto words = rig.system.run_measures(1);
+  ASSERT_EQ(words.size(), 1u);
+  EXPECT_EQ(words[0].to_string(), "0000011");
+}
+
+// Cross-validation: full gate-level system vs behavioral array across a
+// voltage/code grid.
+class FullSystemVsBehavioral
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FullSystemVsBehavioral, WordsAgree) {
+  const auto [code_int, mv] = GetParam();
+  const DelayCode code{static_cast<std::uint8_t>(code_int)};
+  const double volts = mv / 1000.0;
+  const auto& model = calib::calibrated().model;
+
+  SystemRig rig(volts, code);
+  const auto words = rig.system.run_measures(1);
+  const auto behavioral =
+      rig.array.measure(Volt{volts}, model.skew(code));
+  EXPECT_EQ(words[0].to_string(), behavioral.to_string())
+      << "code=" << code.to_string() << " V=" << volts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FullSystemVsBehavioral,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(840, 900, 950, 1000, 1050, 1120,
+                                         1200)));
+
+}  // namespace
+}  // namespace psnt::core

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "calib/fit.h"
+#include "core/linearity.h"
+#include "core/overhead.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+struct Rig {
+  const calib::CalibratedModel& model = calib::calibrated().model;
+  SensorArray array = calib::make_paper_array(model);
+  PulseGenerator pg{model.pg_config()};
+};
+
+TEST(Linearity, NominalArrayMetrics) {
+  Rig s;
+  const auto rep = analyze_linearity(s.array, s.pg, DelayCode{3});
+  // Window 226 mV over 6 steps → ideal LSB ≈ 37.7 mV.
+  EXPECT_NEAR(rep.lsb_ideal_mv, 37.67, 0.2);
+  EXPECT_EQ(rep.dnl_lsb.size(), 6u);
+  EXPECT_EQ(rep.inl_lsb.size(), 7u);
+  // End INL points are zero by the endpoint-fit definition.
+  EXPECT_NEAR(rep.inl_lsb.front(), 0.0, 1e-9);
+  EXPECT_NEAR(rep.inl_lsb.back(), 0.0, 1e-9);
+  // The paper ladder is deliberately uneven at the bottom (69 mV first gap):
+  // DNL of step 0 ≈ 69/37.7 - 1 ≈ +0.83.
+  EXPECT_NEAR(rep.dnl_lsb[0], 0.83, 0.05);
+  EXPECT_GT(rep.max_abs_dnl, 0.5);
+}
+
+TEST(Linearity, DnlSumsToZero) {
+  // Endpoint definition ⇒ Σ DNL = 0.
+  Rig s;
+  const auto rep = analyze_linearity(s.array, s.pg, DelayCode{3});
+  double sum = 0.0;
+  for (double d : rep.dnl_lsb) sum += d;
+  EXPECT_NEAR(sum, 0.0, 1e-9);
+}
+
+TEST(Linearity, UniformLadderIsNearlyIdeal) {
+  // An equal-threshold-spacing ladder (built by solving loads) must show
+  // tiny DNL/INL.
+  Rig s;
+  const Picoseconds budget = s.model.budget(DelayCode{3});
+  std::vector<Picofarad> loads;
+  for (int i = 0; i < 7; ++i) {
+    loads.push_back(*s.model.inverter.load_for_budget(
+        Volt{0.85 + 0.03 * i}, budget));
+  }
+  const auto uniform =
+      SensorArray::with_loads(s.model.inverter, s.model.flipflop, loads);
+  const auto rep = analyze_linearity(uniform, s.pg, DelayCode{3});
+  EXPECT_LT(rep.max_abs_dnl, 1e-6);
+  EXPECT_LT(rep.max_abs_inl, 1e-6);
+}
+
+TEST(Linearity, MonteCarloStatisticsBehave) {
+  Rig s;
+  const auto mc = monte_carlo_linearity(s.model.inverter, s.model.flipflop,
+                                        s.model.array_loads, s.pg,
+                                        DelayCode{3}, 60, 42);
+  EXPECT_EQ(mc.trials, 60u);
+  EXPECT_GE(mc.p95_max_abs_dnl, mc.mean_max_abs_dnl);
+  EXPECT_GE(mc.p95_max_abs_inl, mc.mean_max_abs_inl);
+  EXPECT_GE(mc.yield_half_lsb, 0.0);
+  EXPECT_LE(mc.yield_half_lsb, 1.0);
+  // Mismatch can only worsen the nominal DNL.
+  const auto nominal = analyze_linearity(s.array, s.pg, DelayCode{3});
+  EXPECT_GE(mc.mean_max_abs_dnl, nominal.max_abs_dnl * 0.9);
+}
+
+TEST(Linearity, MonteCarloDeterministicPerSeed) {
+  Rig s;
+  const auto a = monte_carlo_linearity(s.model.inverter, s.model.flipflop,
+                                       s.model.array_loads, s.pg,
+                                       DelayCode{3}, 20, 7);
+  const auto b = monte_carlo_linearity(s.model.inverter, s.model.flipflop,
+                                       s.model.array_loads, s.pg,
+                                       DelayCode{3}, 20, 7);
+  EXPECT_DOUBLE_EQ(a.mean_max_abs_dnl, b.mean_max_abs_dnl);
+  EXPECT_DOUBLE_EQ(a.p95_max_abs_inl, b.p95_max_abs_inl);
+}
+
+TEST(Overhead, AreaDominatedByLoadCaps) {
+  const auto report = estimate_overhead(calib::calibrated().model);
+  EXPECT_GT(report.area.load_caps_um2, report.area.sense_cells_um2);
+  EXPECT_GT(report.area.total_um2, 0.0);
+  EXPECT_NEAR(report.area.total_um2,
+              report.area.sense_cells_um2 + report.area.load_caps_um2 +
+                  report.area.pulse_gen_um2 + report.area.control_um2,
+              1e-9);
+}
+
+TEST(Overhead, LowOverheadAgainstATypicalCut) {
+  // The abstract's claim: for a 1 mm² CUT the whole system (one site) stays
+  // well under 1 % area.
+  const auto report = estimate_overhead(calib::calibrated().model);
+  EXPECT_LT(report.area.percent_of(1e6), 1.0);
+}
+
+TEST(Overhead, PowerScalesWithMeasureRate) {
+  const auto report = estimate_overhead(calib::calibrated().model);
+  const double idle = report.power.power_uw_at(0.0);
+  const double busy = report.power.power_uw_at(1e6);
+  EXPECT_DOUBLE_EQ(idle, report.power.leakage_uw);
+  EXPECT_GT(busy, idle);
+  // At 1 M measures/s the whole system stays in the tens-of-µW range.
+  EXPECT_LT(busy, 500.0);
+}
+
+TEST(Overhead, SitesScaleAreaAndEnergyLinearly) {
+  OverheadConfig one;
+  OverheadConfig sixteen;
+  sixteen.sensor_sites = 16;
+  const auto r1 = estimate_overhead(calib::calibrated().model, one);
+  const auto r16 = estimate_overhead(calib::calibrated().model, sixteen);
+  // Control is shared: the 16-site system is < 16x the area of one site.
+  EXPECT_LT(r16.area.total_um2, 16.0 * r1.area.total_um2);
+  EXPECT_GT(r16.area.total_um2, 10.0 * r1.area.sense_cells_um2);
+  EXPECT_GT(r16.power.energy_per_measure_pj,
+            10.0 * (r1.power.energy_per_measure_pj -
+                    r1.power.energy_per_measure_pj * 0.1));
+}
+
+TEST(Overhead, Validation) {
+  OverheadConfig bad;
+  bad.sensor_sites = 0;
+  EXPECT_THROW((void)estimate_overhead(calib::calibrated().model, bad),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace psnt::core

@@ -1,0 +1,117 @@
+// Structural LOW-SENSE (GND-n) array: the paper's "PREPARE and SENSE
+// conditions are opposite" at gate level, cross-validated against the
+// behavioral LS path.
+#include <gtest/gtest.h>
+
+#include "calib/fit.h"
+#include "core/system_builder.h"
+#include "core/thermometer.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+struct LsRig {
+  sim::Simulator sim;
+  analog::ConstantRail vdd_nominal;
+  analog::ConstantRail gnd;
+  StructuralSensor sensor;
+  ControlFsm fsm;
+  PulseGenerator pg;
+
+  LsRig(double gnd_volts, DelayCode code)
+      : vdd_nominal(1.0_V),
+        gnd(Volt{gnd_volts}),
+        sensor([&] {
+          BuilderOptions opts;
+          opts.polarity = SensePolarity::kLowSense;
+          return build_structural_sensor(
+              sim, "ls", calib::make_paper_array(calib::calibrated().model),
+              PulseGenerator{calib::calibrated().model.pg_config()}, code,
+              analog::RailPair{&vdd_nominal, &gnd}, opts);
+        }()),
+        fsm(code),
+        pg(calib::calibrated().model.pg_config()) {}
+
+  ThermoWord measure(DelayCode code) {
+    return run_structural_measure(sim, sensor, fsm, pg, 2000.0_ps, 1250.0_ps,
+                                  code)
+        .word;
+  }
+};
+
+TEST(LowSenseStructural, QuietGroundMatchesOneVoltHighSense) {
+  // gnd = 0 → effective overdrive 1.0 V → same word as HS at 1.0 V.
+  LsRig rig(0.0, DelayCode{3});
+  EXPECT_EQ(rig.measure(DelayCode{3}).to_string(), "0011111");
+}
+
+TEST(LowSenseStructural, BounceOf100mVMatchesHighSenseAt900mV) {
+  LsRig rig(0.10, DelayCode{3});
+  EXPECT_EQ(rig.measure(DelayCode{3}).to_string(), "0000011");
+}
+
+TEST(LowSenseStructural, PrepareLoadsOnesNotZeros) {
+  // The inverted conditions: PREPARE drives P=0 → DS=1 → Q loaded with 1.
+  LsRig rig(0.0, DelayCode{3});
+  (void)rig.measure(DelayCode{3});
+  for (const auto* ff : rig.sensor.flipflops) {
+    ASSERT_EQ(ff->history().size(), 2u);
+    EXPECT_TRUE(ff->history()[0].outcome.captured_value);
+  }
+}
+
+TEST(LowSenseStructural, LateDsKeepsPrepareOne) {
+  // Heavy bounce → slow falling DS → setup violated → FF keeps the PREPARE
+  // value 1 → read_word flags the bit as error (0).
+  LsRig rig(0.16, DelayCode{3});  // v_eff = 0.84 V, near the window floor
+  const auto word = rig.measure(DelayCode{3});
+  EXPECT_EQ(word.count_ones(), 1u);
+  std::size_t violations = 0;
+  for (const auto* ff : rig.sensor.flipflops) {
+    violations += ff->setup_violations();
+  }
+  EXPECT_EQ(violations, 6u);
+}
+
+// Cross-validation grid against the behavioral GND path.
+class LsStructuralVsBehavioral : public ::testing::TestWithParam<int> {};
+
+TEST_P(LsStructuralVsBehavioral, WordsAgree) {
+  const double gnd_mv = GetParam();
+  const double gnd_volts = gnd_mv / 1000.0;
+  const auto& model = calib::calibrated().model;
+  const auto array = calib::make_paper_array(model);
+
+  const ThermoWord behavioral = array.measure(
+      Volt{1.0 - gnd_volts}, model.skew(DelayCode{3}));
+  LsRig rig(gnd_volts, DelayCode{3});
+  EXPECT_EQ(rig.measure(DelayCode{3}).to_string(), behavioral.to_string())
+      << "gnd = " << gnd_volts;
+}
+
+INSTANTIATE_TEST_SUITE_P(BounceSweep, LsStructuralVsBehavioral,
+                         ::testing::Values(0, 10, 25, 40, 60, 80, 100, 125,
+                                           150, 180));
+
+TEST(LowSenseStructural, DecodeGndBracketsTruth) {
+  const auto& model = calib::calibrated().model;
+  const auto array = calib::make_paper_array(model);
+  for (int mv : {5, 30, 70, 110, 150}) {
+    const double gnd_volts = mv / 1000.0;
+    LsRig rig(gnd_volts, DelayCode{3});
+    const auto word = rig.measure(DelayCode{3});
+    const auto bin =
+        array.decode_gnd(word, model.skew(DelayCode{3}), Volt{1.0});
+    if (bin.lo) {
+      EXPECT_LE(bin.lo->value(), gnd_volts + 1e-9) << mv;
+    }
+    if (bin.hi) {
+      EXPECT_GT(bin.hi->value(), gnd_volts - 1e-9) << mv;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psnt::core

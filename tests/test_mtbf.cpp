@@ -1,0 +1,104 @@
+#include "analog/mtbf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psnt::analog {
+namespace {
+
+using namespace psnt::literals;
+
+FlipFlopTimingModel ff() { return FlipFlopTimingModel{}; }
+
+TEST(Mtbf, ProbabilityMatchesClosedForm) {
+  MtbfParams p;
+  p.resolve_time = 20.0_ps;
+  p.edge_jitter_window = 50.0_ps;
+  // (w/T) e^{-t/tau} = (10/50) e^{-20/8}
+  const double expected = 0.2 * std::exp(-20.0 / 8.0);
+  EXPECT_NEAR(unresolved_probability(ff(), p), expected, 1e-12);
+}
+
+TEST(Mtbf, WindowWiderThanJitterClamps) {
+  MtbfParams p;
+  p.resolve_time = 0.0_ps;
+  p.edge_jitter_window = 5.0_ps;  // narrower than the 10 ps aperture
+  EXPECT_DOUBLE_EQ(unresolved_probability(ff(), p), 1.0);
+}
+
+TEST(Mtbf, ProbabilityDecaysExponentiallyWithResolveTime) {
+  MtbfParams p;
+  p.edge_jitter_window = 50.0_ps;
+  p.resolve_time = 8.0_ps;
+  const double p1 = unresolved_probability(ff(), p);
+  p.resolve_time = 16.0_ps;
+  const double p2 = unresolved_probability(ff(), p);
+  EXPECT_NEAR(p1 / p2, std::exp(1.0), 1e-9);  // one extra tau
+}
+
+TEST(Mtbf, MtbfScalesInverselyWithRate) {
+  MtbfParams p;
+  p.resolve_time = 40.0_ps;
+  p.measure_rate_hz = 1e6;
+  const double slow = mtbf_seconds(ff(), p);
+  p.measure_rate_hz = 2e6;
+  EXPECT_NEAR(mtbf_seconds(ff(), p), slow / 2.0, slow * 1e-9);
+}
+
+TEST(Mtbf, GenerousResolveTimeIsEffectivelyInfinite) {
+  MtbfParams p;
+  p.resolve_time = Picoseconds{8000.0};  // 1000 tau
+  EXPECT_GE(mtbf_seconds(ff(), p), 1e30);
+}
+
+TEST(Mtbf, ResolveTimeForTargetRoundTrips) {
+  MtbfParams p;
+  p.measure_rate_hz = 1e6;
+  p.edge_jitter_window = 50.0_ps;
+  const double target = 3.15e7;  // one year
+  const Picoseconds t = resolve_time_for_mtbf(ff(), p, target);
+  EXPECT_GT(t.value(), 0.0);
+  p.resolve_time = t;
+  EXPECT_NEAR(mtbf_seconds(ff(), p), target, target * 1e-6);
+}
+
+TEST(Mtbf, TrivialTargetNeedsNoResolveTime) {
+  MtbfParams p;
+  p.measure_rate_hz = 1.0;
+  p.edge_jitter_window = 1000.0_ps;
+  EXPECT_DOUBLE_EQ(resolve_time_for_mtbf(ff(), p, 1e-6).value(), 0.0);
+}
+
+TEST(Mtbf, MonteCarloAgreesWithClosedForm) {
+  MtbfParams p;
+  p.resolve_time = 12.0_ps;
+  p.edge_jitter_window = 50.0_ps;
+  const double analytic = unresolved_probability(ff(), p);
+  const double empirical =
+      monte_carlo_unresolved_fraction(ff(), p, 400000, 42);
+  EXPECT_NEAR(empirical, analytic, 0.15 * analytic + 5e-4);
+}
+
+TEST(Mtbf, MonteCarloDeterministicPerSeed) {
+  MtbfParams p;
+  p.resolve_time = 10.0_ps;
+  EXPECT_DOUBLE_EQ(monte_carlo_unresolved_fraction(ff(), p, 10000, 7),
+                   monte_carlo_unresolved_fraction(ff(), p, 10000, 7));
+}
+
+TEST(Mtbf, ValidatesInputs) {
+  MtbfParams p;
+  p.edge_jitter_window = Picoseconds{0.0};
+  EXPECT_THROW((void)unresolved_probability(ff(), p), std::logic_error);
+  MtbfParams q;
+  q.measure_rate_hz = 0.0;
+  EXPECT_THROW((void)mtbf_seconds(ff(), q), std::logic_error);
+  EXPECT_THROW((void)resolve_time_for_mtbf(ff(), MtbfParams{}, -1.0),
+               std::logic_error);
+  EXPECT_THROW((void)monte_carlo_unresolved_fraction(ff(), MtbfParams{}, 0, 1),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace psnt::analog

@@ -1,0 +1,186 @@
+#include "psn/pdn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psnt::psn {
+namespace {
+
+using namespace psnt::literals;
+
+LumpedPdnParams typical_params() {
+  LumpedPdnParams p;
+  p.v_reg = 1.0_V;
+  p.resistance = Ohm{0.004};
+  p.inductance = NanoHenry{0.08};
+  p.decap = Picofarad{120000.0};  // 120 nF
+  return p;
+}
+
+TEST(LumpedPdn, AnalyticProperties) {
+  LumpedPdn pdn{typical_params()};
+  // f = 1/(2*pi*sqrt(LC)) with L=0.08nH, C=120nF → ~51.4 MHz.
+  EXPECT_NEAR(pdn.resonant_frequency_ghz(), 0.05137, 1e-4);
+  // Z0 = sqrt(L/C) ≈ 25.8 mΩ.
+  EXPECT_NEAR(pdn.characteristic_impedance_ohm(), 0.02582, 1e-4);
+  EXPECT_NEAR(pdn.quality_factor(), 0.02582 / 0.004, 0.1);
+}
+
+TEST(LumpedPdn, SteadyStateIsIrDrop) {
+  LumpedPdn pdn{typical_params()};
+  ConstantCurrent load{Ampere{5.0}};
+  const Waveform v = pdn.solve(load, 2000.0_ps, 10.0_ps);
+  // v = V_reg - R*I = 1.0 - 0.02 everywhere (starts in steady state).
+  EXPECT_NEAR(v.value_at(0.0_ps), 0.98, 1e-9);
+  EXPECT_NEAR(v.value_at(1500.0_ps), 0.98, 1e-6);
+  EXPECT_LT(v.peak_to_peak(), 1e-6);
+}
+
+TEST(LumpedPdn, StepProducesFirstDroopNearAnalytic) {
+  LumpedPdn pdn{typical_params()};
+  // 2 A step at t=1 ns.
+  StepCurrent load{Ampere{1.0}, Ampere{3.0}, 1000.0_ps};
+  const Waveform v = pdn.solve(load, 40000.0_ps, 10.0_ps);
+  const DroopMetrics m =
+      analyze_droop(v, 1.0 - 0.004 * 1.0, RailPolarity::kSupplyDroop);
+  // Lightly damped: droop ≈ ΔI * Z0 ≈ 51.6 mV below the *new* DC level...
+  // with Q≈6.5 the first trough loses a bit to damping; accept 35–55 mV
+  // beyond the new IR level (1 - 0.012 = 0.988).
+  const double new_dc = 1.0 - 0.004 * 3.0;
+  const double droop_past_dc = new_dc - m.worst;
+  EXPECT_GT(droop_past_dc, 0.035);
+  EXPECT_LT(droop_past_dc, 0.055);
+  // Trough roughly a quarter resonance period after the step.
+  const double quarter_ps = 0.25 / pdn.resonant_frequency_ghz() * 1000.0;
+  EXPECT_NEAR(m.time_of_worst.value(), 1000.0 + quarter_ps,
+              0.35 * quarter_ps);
+  // Ringback overshoots the DC level.
+  EXPECT_GT(m.overshoot, 0.0);
+}
+
+TEST(LumpedPdn, RingPeriodMatchesResonantFrequency) {
+  LumpedPdn pdn{typical_params()};
+  StepCurrent load{Ampere{1.0}, Ampere{3.0}, 1000.0_ps};
+  const Waveform v = pdn.solve(load, 60000.0_ps, 10.0_ps);
+  // Find the first two minima after the step by scanning.
+  const auto& s = v.samples();
+  std::vector<double> minima_t;
+  for (std::size_t i = 120; i + 1 < s.size() && minima_t.size() < 2; ++i) {
+    if (s[i] < s[i - 1] && s[i] <= s[i + 1]) {
+      minima_t.push_back(static_cast<double>(i) * 10.0);
+      i += 200;  // skip past this trough
+    }
+  }
+  ASSERT_EQ(minima_t.size(), 2u);
+  const double period_ps = minima_t[1] - minima_t[0];
+  const double expected_ps = 1000.0 / pdn.resonant_frequency_ghz();
+  EXPECT_NEAR(period_ps, expected_ps, 0.05 * expected_ps);
+}
+
+TEST(LumpedPdn, ResonantExcitationBeatsOffResonance) {
+  LumpedPdn pdn{typical_params()};
+  const double f_res = pdn.resonant_frequency_ghz();
+  auto ripple_at = [&](double freq_ghz) {
+    SquareWaveCurrent load{Ampere{1.0}, Ampere{3.0},
+                           Picoseconds{1000.0 / freq_ghz}, 0.5};
+    const Waveform v = pdn.solve(load, 200000.0_ps, 20.0_ps);
+    // Measure in the settled second half.
+    std::vector<double> tail(v.samples().begin() + 5000, v.samples().end());
+    const Waveform settled{0.0_ps, 20.0_ps, std::move(tail)};
+    return settled.peak_to_peak();
+  };
+  const double at_res = ripple_at(f_res);
+  EXPECT_GT(at_res, ripple_at(f_res / 4.0) * 1.5);
+  EXPECT_GT(at_res, ripple_at(f_res * 4.0) * 1.5);
+}
+
+TEST(LumpedPdn, GroundBounceMirrorsSupplyDroop) {
+  LumpedPdnParams p = typical_params();
+  p.polarity = RailPolarity::kGroundBounce;
+  LumpedPdn gnd{p};
+  StepCurrent load{Ampere{1.0}, Ampere{3.0}, 1000.0_ps};
+  const Waveform bounce = gnd.solve(load, 40000.0_ps, 10.0_ps);
+  // Steady state at R*I = 4 mV, bouncing UP after the step.
+  EXPECT_NEAR(bounce.value_at(0.0_ps), 0.004, 1e-9);
+  EXPECT_GT(bounce.max(), 0.012);  // beyond the new DC of 12 mV
+  const DroopMetrics m = analyze_droop(bounce, 0.004,
+                                       RailPolarity::kGroundBounce);
+  EXPECT_GT(m.worst, 0.012);
+  EXPECT_GT(m.worst_deviation, 0.008);
+}
+
+TEST(LumpedPdn, RejectsBadParams) {
+  LumpedPdnParams p = typical_params();
+  p.decap = Picofarad{0.0};
+  EXPECT_THROW(LumpedPdn{p}, std::logic_error);
+  LumpedPdn ok{typical_params()};
+  ConstantCurrent load{Ampere{1.0}};
+  EXPECT_THROW((void)ok.solve(load, 0.0_ps), std::logic_error);
+}
+
+TEST(LadderPdn, UniformSplitsTotals) {
+  const auto p = LadderPdnParams::uniform(4, 1.0_V, Ohm{0.004},
+                                          NanoHenry{0.08},
+                                          Picofarad{120000.0});
+  EXPECT_EQ(p.segments(), 4u);
+  EXPECT_NEAR(p.resistance[0].value(), 0.001, 1e-12);
+  EXPECT_NEAR(p.inductance[0].value(), 0.02, 1e-12);
+  EXPECT_NEAR(p.decap[0].value(), 30000.0, 1e-9);
+  EXPECT_TRUE(p.valid());
+}
+
+TEST(LadderPdn, SteadyStateMatchesTotalIrDrop) {
+  const auto params = LadderPdnParams::uniform(
+      4, 1.0_V, Ohm{0.004}, NanoHenry{0.08}, Picofarad{120000.0});
+  LadderPdn pdn{params};
+  ConstantCurrent load{Ampere{5.0}};
+  const Waveform v = pdn.solve(load, 2000.0_ps, 10.0_ps);
+  EXPECT_NEAR(v.value_at(0.0_ps), 0.98, 1e-9);
+  EXPECT_LT(v.peak_to_peak(), 1e-6);
+}
+
+TEST(LadderPdn, StepDroopComparableToLumped) {
+  // Same totals → same DC and similar (not identical) first droop.
+  LumpedPdn lumped{typical_params()};
+  LadderPdn ladder{LadderPdnParams::uniform(6, 1.0_V, Ohm{0.004},
+                                            NanoHenry{0.08},
+                                            Picofarad{120000.0})};
+  StepCurrent load{Ampere{1.0}, Ampere{3.0}, 1000.0_ps};
+  // The ring decays with 2L/R = 40 ns; run long enough for both to settle.
+  const auto vl = lumped.solve(load, 200000.0_ps, 10.0_ps);
+  const auto vd = ladder.solve(load, 200000.0_ps, 10.0_ps);
+  EXPECT_NEAR(vd.min(), vl.min(), 0.015);
+  // Both ring around the same new DC level; compare the mean over the tail
+  // (instantaneous ring phases differ between the two topologies).
+  auto tail_mean = [](const Waveform& w) {
+    double acc = 0.0;
+    const std::size_t n = w.size() / 4;
+    for (std::size_t i = w.size() - n; i < w.size(); ++i) {
+      acc += w.samples()[i];
+    }
+    return acc / static_cast<double>(n);
+  };
+  EXPECT_NEAR(tail_mean(vd), tail_mean(vl), 0.01);
+}
+
+TEST(LadderPdn, RejectsMalformedParams) {
+  LadderPdnParams p;
+  p.resistance = {Ohm{0.001}};
+  p.inductance = {};  // size mismatch
+  p.decap = {Picofarad{1000.0}};
+  EXPECT_FALSE(p.valid());
+  EXPECT_THROW(LadderPdn{p}, std::logic_error);
+}
+
+TEST(DroopMetrics, SupplyFields) {
+  Waveform v{0.0_ps, 10.0_ps, {1.0, 0.95, 0.92, 0.97, 1.01}};
+  const DroopMetrics m = analyze_droop(v, 1.0, RailPolarity::kSupplyDroop);
+  EXPECT_DOUBLE_EQ(m.worst, 0.92);
+  EXPECT_DOUBLE_EQ(m.worst_deviation, 0.08);
+  EXPECT_DOUBLE_EQ(m.time_of_worst.value(), 20.0);
+  EXPECT_NEAR(m.overshoot, 0.01, 1e-12);
+}
+
+}  // namespace
+}  // namespace psnt::psn

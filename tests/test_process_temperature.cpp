@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "analog/process.h"
+#include "analog/temperature.h"
+
+namespace psnt::analog {
+namespace {
+
+using namespace psnt::literals;
+
+AlphaPowerDelayModel typical() { return AlphaPowerDelayModel{}; }
+
+TEST(Process, CornerNames) {
+  EXPECT_EQ(to_string(ProcessCorner::kTypical), "TT");
+  EXPECT_EQ(to_string(ProcessCorner::kSlow), "SS");
+  EXPECT_EQ(to_string(ProcessCorner::kFast), "FF");
+  EXPECT_EQ(to_string(ProcessCorner::kSlowFast), "SF");
+  EXPECT_EQ(to_string(ProcessCorner::kFastSlow), "FS");
+}
+
+TEST(Process, TypicalCornerIsIdentity) {
+  const auto model = typical();
+  const auto tt = apply_corner(model, ProcessCorner::kTypical);
+  EXPECT_DOUBLE_EQ(tt.delay(1.0_V, 2.0_pF).value(),
+                   model.delay(1.0_V, 2.0_pF).value());
+}
+
+TEST(Process, SlowCornerIsSlowerFastIsFaster) {
+  const auto model = typical();
+  const double tt = model.delay(1.0_V, 2.0_pF).value();
+  const double ss =
+      apply_corner(model, ProcessCorner::kSlow).delay(1.0_V, 2.0_pF).value();
+  const double ff =
+      apply_corner(model, ProcessCorner::kFast).delay(1.0_V, 2.0_pF).value();
+  EXPECT_GT(ss, tt);
+  EXPECT_LT(ff, tt);
+}
+
+TEST(Process, CrossCornersBetweenExtremes) {
+  const auto model = typical();
+  const double ss =
+      apply_corner(model, ProcessCorner::kSlow).delay(1.0_V, 2.0_pF).value();
+  const double ff =
+      apply_corner(model, ProcessCorner::kFast).delay(1.0_V, 2.0_pF).value();
+  for (auto corner : {ProcessCorner::kSlowFast, ProcessCorner::kFastSlow}) {
+    const double d = apply_corner(model, corner).delay(1.0_V, 2.0_pF).value();
+    EXPECT_GT(d, ff);
+    EXPECT_LT(d, ss);
+  }
+}
+
+TEST(Process, SlowCornerLowersTheSensorThreshold) {
+  // Sec. III-A: "in slow conditions, the INV is slower and thus the VDD-n
+  // threshold value is lower"... wait — slower INV means the same budget is
+  // consumed at a *higher* VDD-n, so the failure threshold RISES. The paper
+  // statement refers to the CP–P retrim needed; the physical check here is
+  // that SS shifts thresholds up and FF shifts them down.
+  const auto model = typical();
+  const Picoseconds budget{120.0};
+  const auto tt = model.threshold_supply(2.0_pF, budget);
+  const auto ss = apply_corner(model, ProcessCorner::kSlow)
+                      .threshold_supply(2.0_pF, budget);
+  const auto ff = apply_corner(model, ProcessCorner::kFast)
+                      .threshold_supply(2.0_pF, budget);
+  ASSERT_TRUE(tt && ss && ff);
+  EXPECT_GT(ss->value(), tt->value());
+  EXPECT_LT(ff->value(), tt->value());
+}
+
+TEST(Process, MismatchIsBoundedAndVaries) {
+  const auto model = typical();
+  stats::Xoshiro256 rng(42);
+  MismatchParams mm;
+  double min_d = 1e18, max_d = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto cell = apply_mismatch(model, mm, rng);
+    const double d = cell.delay(1.0_V, 2.0_pF).value();
+    min_d = std::min(min_d, d);
+    max_d = std::max(max_d, d);
+  }
+  const double nominal = model.delay(1.0_V, 2.0_pF).value();
+  EXPECT_LT(min_d, nominal);
+  EXPECT_GT(max_d, nominal);
+  // 2% drive sigma + 5 mV vth sigma stay within ~±15%.
+  EXPECT_GT(min_d, nominal * 0.85);
+  EXPECT_LT(max_d, nominal * 1.15);
+}
+
+TEST(Process, MismatchIsDeterministicPerSeed) {
+  const auto model = typical();
+  stats::Xoshiro256 a(7), b(7);
+  const auto ca = apply_mismatch(model, {}, a);
+  const auto cb = apply_mismatch(model, {}, b);
+  EXPECT_DOUBLE_EQ(ca.delay(1.0_V, 2.0_pF).value(),
+                   cb.delay(1.0_V, 2.0_pF).value());
+}
+
+TEST(Temperature, ReferencePointIsIdentity) {
+  EXPECT_DOUBLE_EQ(temperature_drive_factor(25.0_degC), 1.0);
+  const auto model = typical();
+  const auto same = apply_temperature(model, 25.0_degC);
+  EXPECT_DOUBLE_EQ(same.delay(1.0_V, 2.0_pF).value(),
+                   model.delay(1.0_V, 2.0_pF).value());
+}
+
+TEST(Temperature, HotterIsSlowerAtNominalSupply) {
+  const auto model = typical();
+  const double cold = apply_temperature(model, 0.0_degC)
+                          .delay(1.0_V, 2.0_pF).value();
+  const double nominal = model.delay(1.0_V, 2.0_pF).value();
+  const double hot = apply_temperature(model, 105.0_degC)
+                         .delay(1.0_V, 2.0_pF).value();
+  EXPECT_LT(cold, nominal);
+  EXPECT_GT(hot, nominal);
+}
+
+TEST(Temperature, DriveFactorMonotone) {
+  double prev = 2.0;
+  for (double t = -40.0; t <= 125.0; t += 15.0) {
+    const double f = temperature_drive_factor(Celsius{t});
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Temperature, VtDropPartiallyCompensatesNearThreshold) {
+  // At very low supply the Vt reduction with temperature helps, so the
+  // hot/cold delay gap narrows relative to nominal supply (inverted
+  // temperature dependence trend).
+  const auto model = typical();
+  const auto hot = apply_temperature(model, 105.0_degC);
+  const double ratio_nominal =
+      hot.delay(1.0_V, 2.0_pF).value() / model.delay(1.0_V, 2.0_pF).value();
+  const double ratio_low =
+      hot.delay(0.5_V, 2.0_pF).value() / model.delay(0.5_V, 2.0_pF).value();
+  EXPECT_LT(ratio_low, ratio_nominal);
+}
+
+}  // namespace
+}  // namespace psnt::analog

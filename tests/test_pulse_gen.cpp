@@ -1,0 +1,94 @@
+#include "core/pulse_gen.h"
+
+#include <gtest/gtest.h>
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(PulseGen, PaperTableReproducedExactly) {
+  // The Sec. III-B table: 26/40/50/65/77/92/100/107 ps.
+  const auto& table = paper_delay_table();
+  const double expected[8] = {26, 40, 50, 65, 77, 92, 100, 107};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(table[i].value(), expected[i]) << "code " << i;
+  }
+}
+
+TEST(PulseGen, SkewIsInsertionPlusTap) {
+  PulseGenerator pg;
+  for (std::uint8_t c = 0; c < 8; ++c) {
+    const DelayCode code{c};
+    EXPECT_DOUBLE_EQ(pg.skew(code).value(),
+                     pg.config().cp_insertion.value() +
+                         paper_delay_table()[c].value());
+  }
+}
+
+TEST(PulseGen, CommonPathCancelsOutOfSkew) {
+  PulseGenerator::Config a;
+  a.common_path = 120.0_ps;
+  PulseGenerator::Config b = a;
+  b.common_path = 500.0_ps;
+  EXPECT_DOUBLE_EQ(PulseGenerator{a}.skew(DelayCode{3}).value(),
+                   PulseGenerator{b}.skew(DelayCode{3}).value());
+  // But the absolute edge times shift.
+  EXPECT_NE(PulseGenerator{a}.cp_delay(DelayCode{3}).value(),
+            PulseGenerator{b}.cp_delay(DelayCode{3}).value());
+}
+
+TEST(PulseGen, SkewMonotoneInCode) {
+  PulseGenerator pg;
+  for (std::uint8_t c = 1; c < 8; ++c) {
+    EXPECT_GT(pg.skew(DelayCode{c}).value(),
+              pg.skew(DelayCode{static_cast<std::uint8_t>(c - 1)}).value());
+  }
+}
+
+TEST(PulseGen, RoutingSkewAddsToCpOnly) {
+  PulseGenerator pg;
+  const double base = pg.skew(DelayCode{0}).value();
+  pg.set_routing_skew(5.0_ps);
+  EXPECT_DOUBLE_EQ(pg.skew(DelayCode{0}).value(), base + 5.0);
+  EXPECT_DOUBLE_EQ(pg.p_delay().value(), pg.config().common_path.value());
+}
+
+TEST(PulseGen, DelayLineStagesSumToTable) {
+  PulseGenerator pg;
+  const auto stages = pg.delay_line_stages();
+  ASSERT_EQ(stages.size(), 8u);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    acc += stages[i].value();
+    EXPECT_DOUBLE_EQ(acc, paper_delay_table()[i].value());
+    EXPECT_GT(stages[i].value(), 0.0);
+  }
+}
+
+TEST(PulseGen, RejectsNonMonotoneTable) {
+  PulseGenerator::Config cfg;
+  cfg.cp_delay[4] = 10.0_ps;  // below cp_delay[3]
+  EXPECT_THROW(PulseGenerator{cfg}, std::logic_error);
+}
+
+TEST(DelayCodeType, WrapsToThreeBits) {
+  EXPECT_EQ(DelayCode{9}.value(), 1);
+  EXPECT_EQ(DelayCode{7}.value(), 7);
+  EXPECT_EQ(DelayCode{}.value(), 0);
+}
+
+TEST(DelayCodeType, ToStringBinary) {
+  EXPECT_EQ(DelayCode{0}.to_string(), "000");
+  EXPECT_EQ(DelayCode{3}.to_string(), "011");
+  EXPECT_EQ(DelayCode{5}.to_string(), "101");
+  EXPECT_EQ(DelayCode{7}.to_string(), "111");
+}
+
+TEST(DelayCodeType, Ordering) {
+  EXPECT_LT(DelayCode{2}, DelayCode{3});
+  EXPECT_EQ(DelayCode{4}, DelayCode{4});
+}
+
+}  // namespace
+}  // namespace psnt::core

@@ -1,0 +1,81 @@
+#include "analog/rail.h"
+
+#include <gtest/gtest.h>
+
+namespace psnt::analog {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(ConstantRail, AlwaysSameValue) {
+  ConstantRail rail{1.0_V};
+  EXPECT_DOUBLE_EQ(rail.at(0.0_ps).value(), 1.0);
+  EXPECT_DOUBLE_EQ(rail.at(1e9_ps).value(), 1.0);
+  rail.set(0.95_V);
+  EXPECT_DOUBLE_EQ(rail.at(5.0_ps).value(), 0.95);
+}
+
+TEST(SampledRail, InterpolatesLinearly) {
+  SampledRail rail{0.0_ps, 100.0_ps, {1.0, 0.9, 1.1}};
+  EXPECT_DOUBLE_EQ(rail.at(0.0_ps).value(), 1.0);
+  EXPECT_DOUBLE_EQ(rail.at(50.0_ps).value(), 0.95);
+  EXPECT_DOUBLE_EQ(rail.at(100.0_ps).value(), 0.9);
+  EXPECT_DOUBLE_EQ(rail.at(150.0_ps).value(), 1.0);
+  EXPECT_DOUBLE_EQ(rail.at(200.0_ps).value(), 1.1);
+}
+
+TEST(SampledRail, ClampsOutsideTheWindow) {
+  SampledRail rail{1000.0_ps, 10.0_ps, {0.8, 0.9}};
+  EXPECT_DOUBLE_EQ(rail.at(0.0_ps).value(), 0.8);     // before start
+  EXPECT_DOUBLE_EQ(rail.at(99999.0_ps).value(), 0.9);  // after end
+}
+
+TEST(SampledRail, RespectsStartOffset) {
+  SampledRail rail{500.0_ps, 100.0_ps, {1.0, 0.0}};
+  EXPECT_DOUBLE_EQ(rail.at(550.0_ps).value(), 0.5);
+}
+
+TEST(SampledRail, RejectsBadConstruction) {
+  EXPECT_THROW(SampledRail(0.0_ps, 0.0_ps, {1.0}), std::logic_error);
+  EXPECT_THROW(SampledRail(0.0_ps, 10.0_ps, {}), std::logic_error);
+}
+
+TEST(CallbackRail, EvaluatesFunction) {
+  CallbackRail rail{[](Picoseconds t) {
+    return Volt{1.0 - 1e-5 * t.value()};
+  }};
+  EXPECT_DOUBLE_EQ(rail.at(0.0_ps).value(), 1.0);
+  EXPECT_NEAR(rail.at(1000.0_ps).value(), 0.99, 1e-12);
+}
+
+TEST(RailPair, EffectiveIsVddMinusGnd) {
+  ConstantRail vdd{1.0_V};
+  ConstantRail gnd{0.04_V};
+  RailPair pair{&vdd, &gnd};
+  EXPECT_NEAR(pair.effective(0.0_ps).value(), 0.96, 1e-12);
+}
+
+TEST(RailPair, MissingGndMeansIdealGround) {
+  ConstantRail vdd{1.05_V};
+  RailPair pair{&vdd, nullptr};
+  EXPECT_DOUBLE_EQ(pair.effective(0.0_ps).value(), 1.05);
+}
+
+TEST(RailPair, MissingVddIsAnError) {
+  RailPair pair{nullptr, nullptr};
+  EXPECT_THROW((void)pair.effective(0.0_ps), std::logic_error);
+}
+
+TEST(RailPair, TimeVaryingBothRails) {
+  CallbackRail vdd{[](Picoseconds t) {
+    return Volt{1.0 - 1e-4 * t.value()};
+  }};
+  CallbackRail gnd{[](Picoseconds t) {
+    return Volt{0.0 + 5e-5 * t.value()};
+  }};
+  RailPair pair{&vdd, &gnd};
+  EXPECT_NEAR(pair.effective(100.0_ps).value(), 1.0 - 0.01 - 0.005, 1e-12);
+}
+
+}  // namespace
+}  // namespace psnt::analog

@@ -1,0 +1,99 @@
+#include "core/reconstruction.h"
+
+#include <gtest/gtest.h>
+
+#include "calib/fit.h"
+#include "core/thermometer.h"
+#include "psn/pdn.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+Measurement fake_measurement(double t_ps, double lo, double hi) {
+  Measurement m;
+  m.timestamp = Picoseconds{t_ps};
+  m.word = ThermoWord::of_count(3, 7);
+  m.bin.lo = Volt{lo};
+  m.bin.hi = Volt{hi};
+  return m;
+}
+
+TEST(Reconstruction, ZeroOrderHoldResampling) {
+  std::vector<Measurement> ms{fake_measurement(0.0, 0.9, 1.0),
+                              fake_measurement(100.0, 0.8, 0.9),
+                              fake_measurement(200.0, 1.0, 1.1)};
+  const auto wave = reconstruct_waveform(ms, 50.0_ps);
+  EXPECT_EQ(wave.size(), 5u);
+  EXPECT_DOUBLE_EQ(wave.samples()[0], 0.95);
+  EXPECT_DOUBLE_EQ(wave.samples()[1], 0.95);   // held
+  EXPECT_DOUBLE_EQ(wave.samples()[2], 0.85);   // switched at 100 ps
+  EXPECT_DOUBLE_EQ(wave.samples()[4], 1.05);
+}
+
+TEST(Reconstruction, Validation) {
+  std::vector<Measurement> one{fake_measurement(0.0, 0.9, 1.0)};
+  EXPECT_THROW((void)reconstruct_waveform(one, 10.0_ps), std::logic_error);
+  std::vector<Measurement> bad{fake_measurement(100.0, 0.9, 1.0),
+                               fake_measurement(50.0, 0.9, 1.0)};
+  EXPECT_THROW((void)reconstruct_waveform(bad, 10.0_ps), std::logic_error);
+  std::vector<Measurement> ok{fake_measurement(0.0, 0.9, 1.0),
+                              fake_measurement(100.0, 0.9, 1.0)};
+  EXPECT_THROW((void)reconstruct_waveform(ok, 0.0_ps), std::logic_error);
+  EXPECT_THROW((void)reconstruction_error({}, psn::Waveform::constant(
+                                                  0.0_ps, 1.0_ps, 2, 1.0)),
+               std::logic_error);
+}
+
+TEST(Reconstruction, ErrorStatsAgainstKnownTruth) {
+  const auto truth = psn::Waveform::constant(0.0_ps, 10.0_ps, 100, 0.95);
+  // Bin [0.94, 0.98): estimate 0.96 → error 10 mV, bracketed.
+  std::vector<Measurement> ms{fake_measurement(100.0, 0.94, 0.98),
+                              fake_measurement(300.0, 0.94, 0.98)};
+  const auto err = reconstruction_error(ms, truth);
+  EXPECT_NEAR(err.mean_abs_mv, 10.0, 1e-9);
+  EXPECT_NEAR(err.max_abs_mv, 10.0, 1e-9);
+  EXPECT_NEAR(err.rms_mv, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(err.bracket_rate, 1.0);
+}
+
+TEST(Reconstruction, DetectsNonBracketingBins) {
+  const auto truth = psn::Waveform::constant(0.0_ps, 10.0_ps, 100, 0.95);
+  std::vector<Measurement> ms{fake_measurement(100.0, 0.96, 0.99),  // misses
+                              fake_measurement(300.0, 0.94, 0.98)};
+  const auto err = reconstruction_error(ms, truth);
+  EXPECT_DOUBLE_EQ(err.bracket_rate, 0.5);
+}
+
+TEST(Reconstruction, EndToEndDroopCapture) {
+  // The formalised version of the psn_waveform_capture example: the
+  // reconstruction error is bounded by quantisation (half worst LSB) plus
+  // the sampling aliasing between measures.
+  psn::LumpedPdnParams p;
+  p.v_reg = 1.0_V;
+  p.resistance = Ohm{0.004};
+  p.inductance = NanoHenry{0.08};
+  p.decap = Picofarad{120000.0};
+  psn::LumpedPdn pdn{p};
+  psn::StepCurrent load{Ampere{1.0}, Ampere{3.5}, 50000.0_ps};
+  const psn::Waveform truth = pdn.solve(load, 350000.0_ps, 10.0_ps);
+  const analog::SampledRail rail = truth.to_rail();
+
+  auto thermometer = calib::make_paper_thermometer(calib::calibrated().model);
+  const auto ms = thermometer.iterate_vdd(analog::RailPair{&rail, nullptr},
+                                          0.0_ps, 5000.0_ps, 65,
+                                          DelayCode{3});
+  const auto err = reconstruction_error(ms, truth);
+  EXPECT_DOUBLE_EQ(err.bracket_rate, 1.0);
+  EXPECT_LT(err.max_abs_mv, 40.0);  // worst LSB of the paper ladder is 69 mV
+  EXPECT_LT(err.rms_mv, 20.0);
+
+  const auto wave = reconstruct_waveform(ms, 1000.0_ps);
+  EXPECT_GT(wave.size(), 300u);
+  // The reconstruction sees the droop (min well below nominal).
+  EXPECT_LT(wave.min(), 0.97);
+}
+
+}  // namespace
+}  // namespace psnt::core

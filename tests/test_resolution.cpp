@@ -1,0 +1,93 @@
+#include "core/resolution.h"
+
+#include <gtest/gtest.h>
+
+#include "calib/fit.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+struct Rig {
+  const calib::CalibratedModel& model = calib::calibrated().model;
+  SensorArray array = calib::make_paper_array(model);
+  PulseGenerator pg{model.pg_config()};
+};
+
+TEST(Resolution, LsbGapsMatchThresholdDifferences) {
+  Rig s;
+  const auto rep = analyze_resolution(s.array, s.pg, DelayCode{3});
+  ASSERT_EQ(rep.lsb_mv.size(), 6u);
+  // Paper thresholds: 0.827, 0.896, 0.929, 0.9605, 0.992, 1.021, 1.053.
+  EXPECT_NEAR(rep.lsb_mv[0], 69.0, 0.5);
+  EXPECT_NEAR(rep.lsb_mv[1], 33.0, 0.5);
+  EXPECT_NEAR(rep.lsb_mv[5], 32.0, 0.5);
+}
+
+TEST(Resolution, SummaryStatsConsistent) {
+  Rig s;
+  const auto rep = analyze_resolution(s.array, s.pg, DelayCode{3});
+  EXPECT_GE(rep.worst_lsb_mv, rep.mean_lsb_mv);
+  EXPECT_LE(rep.best_lsb_mv, rep.mean_lsb_mv);
+  double sum = 0.0;
+  for (double g : rep.lsb_mv) sum += g;
+  EXPECT_NEAR(sum / 1000.0, rep.range.span().value(), 1e-9);
+}
+
+TEST(Resolution, SmallerCodeCoarsensTheLsb) {
+  // Code 010's window is wider at the same bit count → larger mean LSB.
+  Rig s;
+  const auto r011 = analyze_resolution(s.array, s.pg, DelayCode{3});
+  const auto r010 = analyze_resolution(s.array, s.pg, DelayCode{2});
+  EXPECT_GT(r010.mean_lsb_mv, r011.mean_lsb_mv);
+}
+
+TEST(Resolution, SkewSensitivityIsNegative) {
+  // More skew → more time → thresholds drop.
+  Rig s;
+  const auto sens = analyze_skew_sensitivity(s.array, s.pg, DelayCode{3});
+  EXPECT_LT(sens.mv_per_ps, 0.0);
+  EXPECT_GT(std::fabs(sens.mv_per_ps), 1.0);   // meaningful coupling
+  EXPECT_LT(std::fabs(sens.mv_per_ps), 20.0);  // but not absurd
+}
+
+TEST(Resolution, SkewBudgetIsPositiveAndTight) {
+  // The paper's differential-pair routing requirement: the budget for a
+  // half-LSB error is a few picoseconds — routing skew genuinely matters.
+  Rig s;
+  const auto sens = analyze_skew_sensitivity(s.array, s.pg, DelayCode{3});
+  EXPECT_GT(sens.half_lsb_budget.value(), 0.5);
+  EXPECT_LT(sens.half_lsb_budget.value(), 20.0);
+}
+
+TEST(Resolution, BudgetKeepsThresholdShiftWithinHalfLsb) {
+  Rig s;
+  const auto sens = analyze_skew_sensitivity(s.array, s.pg, DelayCode{3});
+  const auto res = analyze_resolution(s.array, s.pg, DelayCode{3});
+
+  PulseGenerator skewed{s.model.pg_config()};
+  skewed.set_routing_skew(sens.half_lsb_budget);
+  const auto base = s.array.thresholds(s.pg.skew(DelayCode{3}));
+  const auto shifted = s.array.thresholds(skewed.skew(DelayCode{3}));
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    const double shift_mv = std::fabs((shifted[i] - base[i]).value()) * 1000.0;
+    EXPECT_LE(shift_mv, res.best_lsb_mv / 2.0 + 0.35) << "bit " << i;
+  }
+}
+
+TEST(Resolution, RoutingSkewShiftsMeasuredWord) {
+  // End-to-end: a routing skew a few LSB-budgets wide changes the reading at
+  // a voltage parked mid-bin.
+  Rig s;
+  const auto sens = analyze_skew_sensitivity(s.array, s.pg, DelayCode{3});
+  PulseGenerator skewed{s.model.pg_config()};
+  skewed.set_routing_skew(sens.half_lsb_budget * 6.0);
+  const Volt v{1.0};
+  const auto clean = s.array.measure(v, s.pg.skew(DelayCode{3}));
+  const auto dirty = s.array.measure(v, skewed.skew(DelayCode{3}));
+  EXPECT_NE(clean.count_ones(), dirty.count_ones());
+}
+
+}  // namespace
+}  // namespace psnt::core

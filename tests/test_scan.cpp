@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "calib/fit.h"
+#include "scan/die_map.h"
+#include "scan/floorplan.h"
+#include "scan/scan_chain.h"
+
+namespace psnt::scan {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(Floorplan, AddAndQuerySites) {
+  Floorplan fp{1000.0, 800.0};
+  const auto s0 = fp.add_site("corner", {100.0, 100.0});
+  const auto s1 = fp.add_site("center", {500.0, 400.0});
+  EXPECT_EQ(fp.site_count(), 2u);
+  EXPECT_EQ(s0, 0u);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(fp.site(1).name, "center");
+  EXPECT_THROW((void)fp.site(5), std::logic_error);
+}
+
+TEST(Floorplan, RejectsOutOfDieSites) {
+  Floorplan fp{1000.0, 800.0};
+  EXPECT_THROW(fp.add_site("oob", {1500.0, 100.0}), std::logic_error);
+  EXPECT_THROW(fp.add_site("neg", {-1.0, 0.0}), std::logic_error);
+  EXPECT_THROW(Floorplan(0.0, 100.0), std::logic_error);
+}
+
+TEST(Floorplan, DistanceEuclidean) {
+  Floorplan fp{1000.0, 1000.0};
+  fp.add_site("s", {300.0, 400.0});
+  EXPECT_DOUBLE_EQ(fp.distance_um(0, {0.0, 0.0}), 500.0);
+}
+
+TEST(Floorplan, GridFactoryCentersSites) {
+  const auto fp = Floorplan::grid(1000.0, 800.0, 2, 4);
+  EXPECT_EQ(fp.site_count(), 8u);
+  EXPECT_DOUBLE_EQ(fp.site(0).position.x_um, 125.0);
+  EXPECT_DOUBLE_EQ(fp.site(0).position.y_um, 200.0);
+  EXPECT_DOUBLE_EQ(fp.site(7).position.x_um, 875.0);
+  EXPECT_EQ(fp.site(5).name, "s_r1_c1");
+}
+
+struct ChainFixture {
+  Floorplan fp = Floorplan::grid(1000.0, 1000.0, 2, 2);
+  core::ThermometerConfig config;
+  PsnScanChain chain{fp, config};
+  // Per-site rails: corner sites droop more.
+  std::vector<std::unique_ptr<analog::ConstantRail>> rails;
+
+  explicit ChainFixture(std::vector<double> volts) {
+    const auto& model = calib::calibrated().model;
+    for (std::size_t i = 0; i < volts.size(); ++i) {
+      rails.push_back(std::make_unique<analog::ConstantRail>(Volt{volts[i]}));
+      chain.attach_site(static_cast<std::uint32_t>(i),
+                        analog::RailPair{rails.back().get(), nullptr},
+                        calib::make_paper_thermometer(model, config));
+    }
+  }
+};
+
+TEST(ScanChain, BroadcastMeasuresEverySite) {
+  ChainFixture f{{1.00, 0.98, 0.95, 0.90}};
+  const auto snapshot = f.chain.broadcast_measure(0.0_ps, core::DelayCode{3});
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot[0].measurement.word.to_string(), "0011111");
+  EXPECT_EQ(snapshot[3].measurement.word.to_string(), "0000011");
+  // Lower voltage → fewer ones, monotone across the fixture.
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_LE(snapshot[i].measurement.word.count_ones(),
+              snapshot[i - 1].measurement.word.count_ones());
+  }
+}
+
+TEST(ScanChain, ShiftOutSerialisesLatchedWords) {
+  ChainFixture f{{1.00, 0.90}};
+  (void)f.chain.broadcast_measure(0.0_ps, core::DelayCode{3});
+  const auto bits = f.chain.shift_out();
+  ASSERT_EQ(bits.size(), 14u);
+  // Site 0 = 0011111 → bits 0..4 set; site 1 = 0000011 → bits 7,8 set.
+  for (std::size_t b = 0; b < 7; ++b) EXPECT_EQ(bits[b], b < 5) << b;
+  for (std::size_t b = 0; b < 7; ++b) EXPECT_EQ(bits[7 + b], b < 2) << b;
+}
+
+TEST(ScanChain, DeserializeRoundTrips) {
+  ChainFixture f{{1.00, 0.95, 0.90}};
+  const auto snapshot = f.chain.broadcast_measure(0.0_ps, core::DelayCode{3});
+  const auto words = f.chain.deserialize(f.chain.shift_out());
+  ASSERT_EQ(words.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(words[i], snapshot[i].measurement.word);
+  }
+  EXPECT_THROW((void)f.chain.deserialize(std::vector<bool>(5)),
+               std::logic_error);
+}
+
+TEST(ScanChain, SnapshotCyclesScaleWithSites) {
+  ChainFixture two{{1.0, 1.0}};
+  EXPECT_EQ(two.chain.snapshot_cycles(), 6u + 2u * 7u);
+  ChainFixture four{{1.0, 1.0, 1.0, 1.0}};
+  EXPECT_EQ(four.chain.snapshot_cycles(), 6u + 4u * 7u);
+}
+
+TEST(ScanChain, ValidatesAttachment) {
+  ChainFixture f{{1.0}};
+  const auto& model = calib::calibrated().model;
+  analog::ConstantRail rail{1.0_V};
+  EXPECT_THROW(
+      f.chain.attach_site(0, analog::RailPair{&rail, nullptr},
+                          calib::make_paper_thermometer(model)),
+      std::logic_error);  // duplicate
+  EXPECT_THROW(
+      f.chain.attach_site(99, analog::RailPair{&rail, nullptr},
+                          calib::make_paper_thermometer(model)),
+      std::logic_error);  // unknown site
+}
+
+TEST(DieMap, WorstAndBestSites) {
+  ChainFixture f{{1.00, 0.98, 0.95, 0.90}};
+  DieMap map{f.fp, 1.0_V};
+  map.ingest(f.chain.broadcast_measure(0.0_ps, core::DelayCode{3}));
+  EXPECT_EQ(map.count(), 4u);
+  EXPECT_EQ(map.worst_site().site_id, 3u);
+  EXPECT_EQ(map.best_site().site_id, 0u);
+  EXPECT_GT(map.gradient().value(), 0.05);
+}
+
+TEST(DieMap, RenderGridShowsDroop) {
+  ChainFixture f{{1.00, 0.98, 0.95, 0.90}};
+  DieMap map{f.fp, 1.0_V};
+  map.ingest(f.chain.broadcast_measure(0.0_ps, core::DelayCode{3}));
+  const std::string art = map.render(2, 2);
+  // Two rows of output.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+  EXPECT_THROW((void)map.render(3, 3), std::logic_error);
+}
+
+TEST(DieMap, FlagsOutOfRangeSites) {
+  ChainFixture f{{1.20, 0.70}};
+  DieMap map{f.fp, 1.0_V};
+  map.ingest(f.chain.broadcast_measure(0.0_ps, core::DelayCode{3}));
+  EXPECT_TRUE(map.sites()[0].above_range);
+  EXPECT_TRUE(map.sites()[1].below_range);
+  const std::string art = map.render(1, 2);
+  EXPECT_NE(art.find("HI"), std::string::npos);
+  EXPECT_NE(art.find("LOW"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psnt::scan

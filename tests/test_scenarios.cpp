@@ -1,0 +1,85 @@
+#include "cut/scenarios.h"
+
+#include <gtest/gtest.h>
+
+namespace psnt::cut {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(Scenarios, AllKindsEnumerateAndName) {
+  const auto kinds = all_scenarios();
+  EXPECT_EQ(kinds.size(), 5u);
+  for (const auto k : kinds) {
+    EXPECT_STRNE(to_string(k), "?");
+  }
+}
+
+TEST(Scenarios, QuietIsPureIrDrop) {
+  const auto s = make_scenario(ScenarioKind::kQuiet);
+  EXPECT_NEAR(s.vdd.value_at(0.0_ps), 0.996, 1e-6);  // 1.0 - 4 mΩ × 1 A
+  EXPECT_LT(s.vdd.peak_to_peak(), 1e-6);
+  EXPECT_NEAR(s.gnd.value_at(0.0_ps), 0.004, 1e-6);
+  EXPECT_LT(s.vdd_metrics.worst_deviation, 1e-6);
+}
+
+TEST(Scenarios, FirstDroopHasTheDeepestSingleEvent) {
+  const auto s = make_scenario(ScenarioKind::kFirstDroop);
+  EXPECT_GT(s.vdd_metrics.worst_deviation, 0.03);
+  // Trough shortly after the 50 ns step.
+  EXPECT_GT(s.vdd_metrics.time_of_worst.value(), 50000.0);
+  EXPECT_LT(s.vdd_metrics.time_of_worst.value(), 70000.0);
+  // Ground bounces up as the supply droops.
+  EXPECT_GT(s.gnd_metrics.worst, 0.008);
+}
+
+TEST(Scenarios, ResonantRippleBeatsTheQuietBaseline) {
+  const auto quiet = make_scenario(ScenarioKind::kQuiet);
+  const auto ripple = make_scenario(ScenarioKind::kResonantRipple);
+  EXPECT_GT(ripple.vdd.rms_ripple(), 10.0 * quiet.vdd.rms_ripple() + 1e-6);
+  EXPECT_GT(ripple.vdd_metrics.worst_deviation, 0.02);
+}
+
+TEST(Scenarios, ClockGatingProducesRepeatingBursts) {
+  ScenarioConfig config;
+  config.horizon = Picoseconds{600000.0};
+  const auto s = make_scenario(ScenarioKind::kClockGating, config);
+  // Multiple droop events: the waveform crosses its mean many times.
+  const double mean = s.vdd.mean();
+  std::size_t crossings = 0;
+  const auto& samples = s.vdd.samples();
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if ((samples[i - 1] < mean) != (samples[i] < mean)) ++crossings;
+  }
+  EXPECT_GT(crossings, 4u);
+}
+
+TEST(Scenarios, PipelineWorkloadDeterministicPerSeed) {
+  ScenarioConfig config;
+  config.seed = 7;
+  const auto a = make_scenario(ScenarioKind::kPipelineWorkload, config);
+  const auto b = make_scenario(ScenarioKind::kPipelineWorkload, config);
+  EXPECT_EQ(a.vdd.samples(), b.vdd.samples());
+  config.seed = 8;
+  const auto c = make_scenario(ScenarioKind::kPipelineWorkload, config);
+  EXPECT_NE(a.vdd.samples(), c.vdd.samples());
+}
+
+TEST(Scenarios, DescriptionsAreFilledIn) {
+  for (const auto k : all_scenarios()) {
+    ScenarioConfig config;
+    config.horizon = Picoseconds{100000.0};
+    const auto s = make_scenario(k, config);
+    EXPECT_FALSE(s.description.empty()) << to_string(k);
+    EXPECT_EQ(s.kind, k);
+  }
+}
+
+TEST(Scenarios, VddAndGndShareTheGrid) {
+  const auto s = make_scenario(ScenarioKind::kFirstDroop);
+  EXPECT_EQ(s.vdd.size(), s.gnd.size());
+  EXPECT_DOUBLE_EQ(s.vdd.period().value(), s.gnd.period().value());
+}
+
+}  // namespace
+}  // namespace psnt::cut

@@ -1,0 +1,91 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace psnt::sim {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+  EXPECT_EQ(s.executed_events(), 3u);
+}
+
+TEST(Scheduler, SameTimeFifoOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  SimTime seen = -1;
+  s.schedule_at(50, [&] {
+    s.schedule_after(25, [&] { seen = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Scheduler, RunUntilStopsAtBoundaryInclusive) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(21, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_all();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Scheduler, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Scheduler s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) s.schedule_after(1, chain);
+  };
+  s.schedule_at(0, chain);
+  s.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(s.now(), 9);
+}
+
+TEST(Scheduler, RejectsPastEvents) {
+  Scheduler s;
+  s.schedule_at(100, [] {});
+  s.run_all();
+  EXPECT_THROW(s.schedule_at(50, [] {}), std::logic_error);
+  EXPECT_THROW(s.schedule_after(-1, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, StepReturnsFalseWhenEmpty) {
+  Scheduler s;
+  EXPECT_FALSE(s.step());
+  s.schedule_at(5, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+}  // namespace
+}  // namespace psnt::sim

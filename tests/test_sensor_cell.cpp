@@ -1,0 +1,124 @@
+#include "core/sensor_cell.h"
+
+#include <gtest/gtest.h>
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+SensorCell make_cell(double pf = 2.0) {
+  return SensorCell{analog::AlphaPowerDelayModel{},
+                    analog::FlipFlopTimingModel{}, Picofarad{pf}};
+}
+
+// A skew generous enough that the default cell passes near 1 V.
+constexpr double kSkewPs = 160.0;
+
+TEST(SensorCell, CorrectAboveThresholdErrorBelow) {
+  const auto cell = make_cell();
+  const auto thr = cell.threshold(Picoseconds{kSkewPs});
+  ASSERT_TRUE(thr.has_value());
+  const auto pass = cell.sense(*thr + 0.01_V, Picoseconds{kSkewPs});
+  const auto fail = cell.sense(*thr - 0.01_V, Picoseconds{kSkewPs});
+  EXPECT_TRUE(pass.correct);
+  EXPECT_FALSE(fail.correct);
+  EXPECT_EQ(fail.ff.region, analog::SampleRegion::kViolated);
+}
+
+TEST(SensorCell, MarginSignFlipsAtThreshold) {
+  const auto cell = make_cell();
+  const auto thr = cell.threshold(Picoseconds{kSkewPs});
+  ASSERT_TRUE(thr.has_value());
+  EXPECT_GT(cell.margin(*thr + 0.02_V, Picoseconds{kSkewPs}).value(), 0.0);
+  EXPECT_LT(cell.margin(*thr - 0.02_V, Picoseconds{kSkewPs}).value(), 0.0);
+  EXPECT_NEAR(cell.margin(*thr, Picoseconds{kSkewPs}).value(), 0.0, 1e-6);
+}
+
+TEST(SensorCell, DsArrivalEqualsInverterDelay) {
+  const auto cell = make_cell();
+  const auto s = cell.sense(1.0_V, Picoseconds{kSkewPs});
+  EXPECT_DOUBLE_EQ(
+      s.ds_arrival.value(),
+      cell.inverter().delay(1.0_V, cell.c_load()).value());
+}
+
+TEST(SensorCell, BudgetSubtractsSetup) {
+  const auto cell = make_cell();
+  EXPECT_DOUBLE_EQ(cell.budget(Picoseconds{kSkewPs}).value(),
+                   kSkewPs - cell.flipflop().params().t_setup.value());
+}
+
+TEST(SensorCell, ThresholdGrowsWithLoad) {
+  double prev = 0.0;
+  for (double pf : {1.0, 1.5, 2.0, 2.5, 3.0}) {
+    const auto thr = make_cell(pf).threshold(Picoseconds{kSkewPs});
+    ASSERT_TRUE(thr.has_value()) << pf;
+    EXPECT_GT(thr->value(), prev);
+    prev = thr->value();
+  }
+}
+
+TEST(SensorCell, ThresholdFallsWithSkew) {
+  const auto cell = make_cell();
+  double prev = 10.0;
+  for (double skew : {140.0, 160.0, 180.0, 200.0}) {
+    const auto thr = cell.threshold(Picoseconds{skew});
+    ASSERT_TRUE(thr.has_value());
+    EXPECT_LT(thr->value(), prev);
+    prev = thr->value();
+  }
+}
+
+TEST(SensorCell, NearThresholdPassesThroughMetastability) {
+  // Just above threshold: captured but metastable, with stretched clk-to-q —
+  // the Fig. 2 case-3 behaviour.
+  const auto cell = make_cell();
+  const auto thr = cell.threshold(Picoseconds{kSkewPs});
+  ASSERT_TRUE(thr.has_value());
+  const auto s = cell.sense(*thr + 0.005_V, Picoseconds{kSkewPs});
+  EXPECT_TRUE(s.correct);
+  EXPECT_EQ(s.ff.region, analog::SampleRegion::kMetastable);
+  EXPECT_GT(s.ff.clk_to_q.value(),
+            cell.flipflop().params().t_clk_to_q.value());
+}
+
+TEST(SensorCell, WellAboveThresholdIsClean) {
+  const auto cell = make_cell();
+  const auto thr = cell.threshold(Picoseconds{kSkewPs});
+  ASSERT_TRUE(thr.has_value());
+  const auto s = cell.sense(*thr + 0.2_V, Picoseconds{kSkewPs});
+  EXPECT_TRUE(s.correct);
+  EXPECT_EQ(s.ff.region, analog::SampleRegion::kClean);
+}
+
+TEST(SensorCell, RejectsNegativeLoad) {
+  EXPECT_THROW(SensorCell(analog::AlphaPowerDelayModel{},
+                          analog::FlipFlopTimingModel{}, Picofarad{-1.0}),
+               std::logic_error);
+}
+
+// Property: sense() agrees with threshold() across a parameter grid.
+class CellConsistency
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(CellConsistency, SenseMatchesThresholdPrediction) {
+  const auto [pf, skew] = GetParam();
+  const auto cell = make_cell(pf);
+  const auto thr = cell.threshold(Picoseconds{skew});
+  if (!thr) return;  // cell not failable in-window at this skew
+  for (double dv : {-0.05, -0.01, 0.01, 0.05}) {
+    const Volt v = *thr + Volt{dv};
+    const bool expect_correct = dv > 0.0;
+    EXPECT_EQ(cell.sense(v, Picoseconds{skew}).correct, expect_correct)
+        << "C=" << pf << " skew=" << skew << " dv=" << dv;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CellConsistency,
+    ::testing::Combine(::testing::Values(1.0, 1.7, 2.0, 2.3, 3.0),
+                       ::testing::Values(140.0, 158.0, 170.0, 200.0)));
+
+}  // namespace
+}  // namespace psnt::core

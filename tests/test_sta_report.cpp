@@ -1,0 +1,93 @@
+#include "sta/report.h"
+
+#include <gtest/gtest.h>
+
+#include "sta/control_netlist.h"
+
+namespace psnt::sta {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(StaReport, SimpleChainRendersAllStages) {
+  TimingGraph g;
+  const auto a = g.add_node("ffa/Q");
+  const auto b = g.add_node("u1/Y");
+  const auto c = g.add_node("ffb/D");
+  g.add_edge(a, b, 40.0_ps);
+  g.add_edge(b, c, 10.0_ps);
+  g.set_source(a, 100.0_ps);
+  g.set_sink(c, 50.0_ps);
+  const auto path = g.critical_path();
+  const std::string report = render_timing_report(g, path);
+  EXPECT_NE(report.find("ffa/Q (launch)"), std::string::npos);
+  EXPECT_NE(report.find("u1/Y"), std::string::npos);
+  EXPECT_NE(report.find("ffb/D"), std::string::npos);
+  EXPECT_NE(report.find("(setup)"), std::string::npos);
+  EXPECT_NE(report.find("200.0"), std::string::npos);  // final arrival
+}
+
+TEST(StaReport, SlackMetWhenUnderPeriod) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_edge(a, b, 100.0_ps);
+  g.set_source(a, 0.0_ps);
+  g.set_sink(b, 0.0_ps);
+  ReportOptions options;
+  options.clock_period = 500.0_ps;
+  const std::string report =
+      render_timing_report(g, g.critical_path(), options);
+  EXPECT_NE(report.find("MET"), std::string::npos);
+  EXPECT_EQ(report.find("VIOLATED"), std::string::npos);
+}
+
+TEST(StaReport, SlackViolatedWhenOverPeriod) {
+  TimingGraph g;
+  const auto a = g.add_node("a");
+  const auto b = g.add_node("b");
+  g.add_edge(a, b, 900.0_ps);
+  g.set_source(a, 0.0_ps);
+  g.set_sink(b, 0.0_ps);
+  ReportOptions options;
+  options.clock_period = 500.0_ps;
+  const std::string report =
+      render_timing_report(g, g.critical_path(), options);
+  EXPECT_NE(report.find("VIOLATED"), std::string::npos);
+}
+
+TEST(StaReport, ControlNetlistReportIsComplete) {
+  const auto netlist = build_control_netlist(analog::default_90nm_library());
+  const auto path = netlist.graph.critical_path();
+  const std::string report = render_timing_report(netlist.graph, path);
+  // Every path node appears once, launch first, setup line present.
+  for (const auto& node : path.nodes) {
+    EXPECT_NE(report.find(node), std::string::npos) << node;
+  }
+  EXPECT_NE(report.find("(launch)"), std::string::npos);
+  EXPECT_NE(report.find("(setup)"), std::string::npos);
+  EXPECT_NE(report.find("1220"), std::string::npos);
+  EXPECT_NE(report.find("MET"), std::string::npos);  // fits 1250 ps
+}
+
+TEST(StaReport, IncrementsSumToArrival) {
+  const auto netlist = build_control_netlist(analog::default_90nm_library());
+  const auto path = netlist.graph.critical_path();
+  const std::string report = render_timing_report(netlist.graph, path);
+  // Parse the Path column of the last stage line "(setup)".
+  const auto pos = report.find("(setup)");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = report.find('\n', pos);
+  const std::string line = report.substr(pos, line_end - pos);
+  const double arrival = std::stod(line.substr(line.rfind(' ') + 1));
+  EXPECT_NEAR(arrival, path.arrival.value(), 0.05);
+}
+
+TEST(StaReport, RejectsEmptyPath) {
+  TimingGraph g;
+  CriticalPath empty;
+  EXPECT_THROW((void)render_timing_report(g, empty), std::logic_error);
+}
+
+}  // namespace
+}  // namespace psnt::sta

@@ -1,0 +1,142 @@
+// Gate-level scan readout: capture a word, shift it out serially, and match
+// the behavioral chain's serialization order.
+#include "scan/structural_scan.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/probe.h"
+
+namespace psnt::scan {
+namespace {
+
+using namespace psnt::literals;
+
+constexpr double kPeriod = 1250.0;
+
+struct Rig {
+  sim::Simulator sim;
+  std::vector<sim::Net*> out;  // pretend sensor OUT nets
+  sim::Net& scan_in;
+  sim::Net& shift_en;
+  sim::Net& scan_clk;
+  StructuralScanRegister reg;
+
+  explicit Rig(const std::string& word)  // paper order, e.g. "0011111"
+      : scan_in(sim.net("scan_in")),
+        shift_en(sim.net("shift_en")),
+        scan_clk(sim.net("scan_clk")),
+        reg(sim, "sr",
+            [&] {
+              const auto w = core::ThermoWord::from_string(word);
+              for (std::size_t b = 0; b < w.width(); ++b) {
+                auto& n = sim.net("out" + std::to_string(b));
+                sim.drive(n, 0.0_ps, sim::from_bool(w.bit(b)));
+                out.push_back(&n);
+              }
+              return out;
+            }(),
+            scan_in, shift_en, scan_clk) {
+    sim.drive(scan_in, 0.0_ps, sim::Logic::L0);
+    sim.drive(scan_clk, 0.0_ps, sim::Logic::L0);
+  }
+
+  // One capture edge with shift disabled.
+  void capture() {
+    sim.drive(shift_en, sim.now() + 100.0_ps, sim::Logic::L0);
+    const double t = sim.now().value() + kPeriod;
+    sim.drive(scan_clk, Picoseconds{t}, sim::Logic::L1);
+    sim.drive(scan_clk, Picoseconds{t + kPeriod / 2.0}, sim::Logic::L0);
+    sim.run_until(Picoseconds{t + kPeriod});
+  }
+
+  std::vector<bool> shift(std::size_t cycles) {
+    sim.drive(shift_en, sim.now() + 100.0_ps, sim::Logic::L1);
+    sim.run_until(sim.now() + 200.0_ps);
+    return run_scan_shift(sim, scan_clk, reg.scan_out(), sim.now(),
+                          Picoseconds{kPeriod}, cycles);
+  }
+};
+
+TEST(StructuralScan, CaptureLoadsTheSensorWord) {
+  Rig rig("0011111");
+  rig.capture();
+  EXPECT_EQ(rig.reg.contents().to_string(), "0011111");
+}
+
+TEST(StructuralScan, ShiftOutEmitsBitZeroFirst) {
+  Rig rig("0011111");
+  rig.capture();
+  const auto bits = rig.shift(7);
+  // Behavioral order: bit 0 (lowest threshold) first → five 1s then two 0s.
+  const std::vector<bool> expected{true, true, true, true, true, false,
+                                   false};
+  EXPECT_EQ(bits, expected);
+}
+
+TEST(StructuralScan, MatchesBehavioralSerialization) {
+  for (const char* word : {"0000000", "0000011", "0011111", "1111111"}) {
+    Rig rig(word);
+    rig.capture();
+    const auto bits = rig.shift(7);
+    const auto w = core::ThermoWord::from_string(word);
+    ASSERT_EQ(bits.size(), 7u);
+    for (std::size_t b = 0; b < 7; ++b) {
+      EXPECT_EQ(bits[b], w.bit(b)) << word << " bit " << b;
+    }
+  }
+}
+
+TEST(StructuralScan, ScanInFillsFromUpstream) {
+  Rig rig("1111111");
+  rig.capture();
+  // Shift 7 bits out with scan_in low: the register drains to zeros.
+  (void)rig.shift(7);
+  EXPECT_EQ(rig.reg.contents().to_string(), "0000000");
+}
+
+TEST(StructuralScan, TwoRegistersDaisyChain) {
+  sim::Simulator sim;
+  sim::Net& scan_in = sim.net("scan_in");
+  sim::Net& shift_en = sim.net("shift_en");
+  sim::Net& clk = sim.net("clk");
+  std::vector<sim::Net*> out_a, out_b;
+  const auto wa = core::ThermoWord::from_string("0000011");
+  const auto wb = core::ThermoWord::from_string("0011111");
+  for (std::size_t b = 0; b < 7; ++b) {
+    auto& na = sim.net("a" + std::to_string(b));
+    auto& nb = sim.net("b" + std::to_string(b));
+    sim.drive(na, 0.0_ps, sim::from_bool(wa.bit(b)));
+    sim.drive(nb, 0.0_ps, sim::from_bool(wb.bit(b)));
+    out_a.push_back(&na);
+    out_b.push_back(&nb);
+  }
+  // Site B is closer to the output: A's chain feeds B's scan_in.
+  StructuralScanRegister reg_b(sim, "rb", out_b, sim.net("ab_link"),
+                               shift_en, clk);
+  StructuralScanRegister reg_a(sim, "ra", out_a, scan_in, shift_en, clk);
+  sim.add<sim::BufGate>("link", reg_a.scan_out(), sim.net("ab_link"),
+                        1.0_ps);
+  sim.drive(scan_in, 0.0_ps, sim::Logic::L0);
+  sim.drive(clk, 0.0_ps, sim::Logic::L0);
+  sim.drive(shift_en, 0.0_ps, sim::Logic::L0);
+
+  // Capture both, then shift 14 bits from B's output.
+  sim.drive(clk, 1250.0_ps, sim::Logic::L1);
+  sim.drive(clk, 1875.0_ps, sim::Logic::L0);
+  sim.run_until(2500.0_ps);
+  EXPECT_EQ(reg_a.contents().to_string(), "0000011");
+  EXPECT_EQ(reg_b.contents().to_string(), "0011111");
+
+  sim.drive(shift_en, 2600.0_ps, sim::Logic::L1);
+  sim.run_until(2700.0_ps);
+  const auto bits = run_scan_shift(sim, clk, reg_b.scan_out(), sim.now(),
+                                   Picoseconds{1250.0}, 14);
+  // B's word leaves first (bit 0 first), then A's.
+  for (std::size_t b = 0; b < 7; ++b) {
+    EXPECT_EQ(bits[b], wb.bit(b)) << "B bit " << b;
+    EXPECT_EQ(bits[7 + b], wa.bit(b)) << "A bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace psnt::scan

@@ -1,0 +1,169 @@
+// Cross-validation: the gate-level structural model and the behavioral
+// NoiseThermometer are two implementations of the same specification and
+// must agree bit-for-bit.
+#include "core/system_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "calib/fit.h"
+#include "sim/probe.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+struct Rig {
+  sim::Simulator sim;
+  analog::ConstantRail vdd;
+  StructuralSensor sensor;
+  ControlFsm fsm;
+  PulseGenerator pg;
+
+  Rig(double volts, DelayCode code)
+      : vdd(Volt{volts}),
+        sensor(build_structural_sensor(
+            sim, "hs", calib::make_paper_array(calib::calibrated().model),
+            PulseGenerator{calib::calibrated().model.pg_config()}, code,
+            analog::RailPair{&vdd, nullptr})),
+        fsm(code),
+        pg(calib::calibrated().model.pg_config()) {}
+
+  StructuralMeasureResult measure(DelayCode code,
+                                  Picoseconds start = Picoseconds{2000.0}) {
+    return run_structural_measure(sim, sensor, fsm, pg, start,
+                                  Picoseconds{1250.0}, code);
+  }
+};
+
+TEST(StructuralSensor, Fig9WordsAtGateLevel) {
+  {
+    Rig rig(1.0, DelayCode{3});
+    EXPECT_EQ(rig.measure(DelayCode{3}).word.to_string(), "0011111");
+  }
+  {
+    Rig rig(0.9, DelayCode{3});
+    EXPECT_EQ(rig.measure(DelayCode{3}).word.to_string(), "0000011");
+  }
+}
+
+TEST(StructuralSensor, SkewCancellationHoldsStructurally) {
+  // Measured P→CP skew at the sensor equals insertion + tap for every code,
+  // independent of the MUX-tree depth (the Fig. 7 property).
+  for (std::uint8_t c : {0, 3, 7}) {
+    const DelayCode code{static_cast<std::uint8_t>(c)};
+    Rig rig(1.0, code);
+    sim::TransitionRecorder p_rec(*rig.sensor.p);
+    sim::TransitionRecorder cp_rec(*rig.sensor.cp);
+    (void)rig.measure(code);
+    // The SENSE event: last P fall and last CP rise.
+    const auto p_fall = p_rec.last_fall();
+    const auto cp_rise = cp_rec.last_rise();
+    ASSERT_TRUE(p_fall && cp_rise);
+    const double skew = cp_rise->value() - p_fall->value();
+    EXPECT_NEAR(skew, rig.pg.skew(code).value(), 0.002) << "code " << int(c);
+  }
+}
+
+TEST(StructuralSensor, PrepareLoadsZerosBeforeSense) {
+  Rig rig(1.0, DelayCode{3});
+  const auto result = rig.measure(DelayCode{3});
+  // Every flop saw exactly two capture edges: PREPARE (a clean 0) and SENSE.
+  for (const auto* ff : rig.sensor.flipflops) {
+    ASSERT_EQ(ff->history().size(), 2u);
+    EXPECT_FALSE(ff->history()[0].outcome.captured_value);
+    EXPECT_EQ(ff->history()[0].outcome.region,
+              analog::SampleRegion::kClean);
+  }
+  EXPECT_GT(result.sense_edge.value(), result.prepare_edge.value());
+}
+
+TEST(StructuralSensor, DsNodesOrderedByLoad) {
+  // After the sense launch, DS-i with larger C arrives later.
+  Rig rig(1.0, DelayCode{3});
+  std::vector<std::unique_ptr<sim::TransitionRecorder>> recs;
+  for (auto* ds : rig.sensor.ds) {
+    recs.push_back(std::make_unique<sim::TransitionRecorder>(*ds));
+  }
+  (void)rig.measure(DelayCode{3});
+  double prev = 0.0;
+  for (auto& rec : recs) {
+    const auto rise = rec->last_rise();
+    ASSERT_TRUE(rise.has_value());
+    EXPECT_GT(rise->value(), prev);
+    prev = rise->value();
+  }
+}
+
+TEST(StructuralSensor, FailingCellsRecordSetupViolations) {
+  Rig rig(0.9, DelayCode{3});
+  (void)rig.measure(DelayCode{3});
+  // At 0.9 V bits 2..6 fail: five setup-violated flops.
+  std::size_t violations = 0;
+  for (const auto* ff : rig.sensor.flipflops) {
+    violations += ff->setup_violations();
+  }
+  EXPECT_EQ(violations, 5u);
+}
+
+// The exhaustive agreement sweep: every (code, voltage) cell of the grid.
+class StructuralVsBehavioral
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StructuralVsBehavioral, WordsAgree) {
+  const auto [code_int, mv] = GetParam();
+  const DelayCode code{static_cast<std::uint8_t>(code_int)};
+  const double volts = mv / 1000.0;
+
+  const auto& model = calib::calibrated().model;
+  const auto array = calib::make_paper_array(model);
+  const ThermoWord behavioral =
+      array.measure(Volt{volts}, model.skew(code));
+
+  Rig rig(volts, code);
+  const ThermoWord structural = rig.measure(code).word;
+
+  EXPECT_EQ(structural.to_string(), behavioral.to_string())
+      << "code=" << code.to_string() << " V=" << volts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StructuralVsBehavioral,
+    ::testing::Combine(::testing::Values(2, 3, 4),
+                       ::testing::Values(800, 850, 880, 900, 920, 940, 960,
+                                         980, 1000, 1020, 1040, 1060, 1100,
+                                         1150, 1200, 1260)));
+
+TEST(StructuralSensor, BackToBackMeasuresInOneSimulator) {
+  // Two sequential transactions against a rail that droops in between —
+  // the Fig. 3 scenario at gate level.
+  sim::Simulator sim;
+  analog::CallbackRail vdd{[](Picoseconds t) {
+    return t.value() < 12000.0 ? Volt{1.0} : Volt{0.9};
+  }};
+  const auto& model = calib::calibrated().model;
+  PulseGenerator pg{model.pg_config()};
+  auto sensor = build_structural_sensor(
+      sim, "hs", calib::make_paper_array(model), pg, DelayCode{3},
+      analog::RailPair{&vdd, nullptr});
+  ControlFsm fsm{DelayCode{3}};
+
+  const auto first = run_structural_measure(sim, sensor, fsm, pg,
+                                            Picoseconds{2000.0},
+                                            Picoseconds{1250.0}, DelayCode{3});
+  EXPECT_EQ(first.word.to_string(), "0011111");
+  const auto second = run_structural_measure(
+      sim, sensor, fsm, pg, Picoseconds{20000.0}, Picoseconds{1250.0},
+      DelayCode{3});
+  EXPECT_EQ(second.word.to_string(), "0000011");
+}
+
+TEST(StructuralSensor, RejectsStartInThePast) {
+  Rig rig(1.0, DelayCode{3});
+  (void)rig.measure(DelayCode{3});
+  EXPECT_THROW((void)rig.measure(DelayCode{3}, Picoseconds{0.0}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace psnt::core

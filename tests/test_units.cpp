@@ -1,0 +1,77 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(Units, LiteralsConstructExpectedValues) {
+  EXPECT_DOUBLE_EQ((1.0_V).value(), 1.0);
+  EXPECT_DOUBLE_EQ((950.0_mV).value(), 0.95);
+  EXPECT_DOUBLE_EQ((65.0_ps).value(), 65.0);
+  EXPECT_DOUBLE_EQ((1.22_ns).value(), 1220.0);
+  EXPECT_DOUBLE_EQ((2.0_pF).value(), 2.0);
+  EXPECT_DOUBLE_EQ((150.0_fF).value(), 0.15);
+  EXPECT_DOUBLE_EQ((25.0_degC).value(), 25.0);
+  EXPECT_DOUBLE_EQ((3.5_mA).value(), 0.0035);
+}
+
+TEST(Units, IntegerLiterals) {
+  EXPECT_DOUBLE_EQ((1_V).value(), 1.0);
+  EXPECT_DOUBLE_EQ((65_ps).value(), 65.0);
+  EXPECT_DOUBLE_EQ((2_pF).value(), 2.0);
+}
+
+TEST(Units, ArithmeticWithinOneDimension) {
+  const Volt a{1.0};
+  const Volt b{0.2};
+  EXPECT_DOUBLE_EQ((a + b).value(), 1.2);
+  EXPECT_DOUBLE_EQ((a - b).value(), 0.8);
+  EXPECT_DOUBLE_EQ((-b).value(), -0.2);
+  EXPECT_DOUBLE_EQ((a * 3.0).value(), 3.0);
+  EXPECT_DOUBLE_EQ((3.0 * a).value(), 3.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 0.25);
+  EXPECT_DOUBLE_EQ(a / b, 5.0);  // ratio is dimensionless
+}
+
+TEST(Units, CompoundAssignment) {
+  Picoseconds t{10.0};
+  t += Picoseconds{5.0};
+  EXPECT_DOUBLE_EQ(t.value(), 15.0);
+  t -= Picoseconds{3.0};
+  EXPECT_DOUBLE_EQ(t.value(), 12.0);
+  t *= 2.0;
+  EXPECT_DOUBLE_EQ(t.value(), 24.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(Volt{0.9}, Volt{1.0});
+  EXPECT_GT(Picoseconds{65}, Picoseconds{50});
+  EXPECT_EQ(Picofarad{2.0}, Picofarad{2.0});
+  EXPECT_LE(Volt{1.0}, Volt{1.0});
+}
+
+TEST(Units, OhmsLawProduct) {
+  const Volt v = Ampere{2.0} * Ohm{0.004};
+  EXPECT_DOUBLE_EQ(v.value(), 0.008);
+  EXPECT_DOUBLE_EQ((Ohm{0.004} * Ampere{2.0}).value(), 0.008);
+}
+
+TEST(Units, StreamingIncludesUnitSuffix) {
+  std::ostringstream os;
+  os << Volt{1.05} << " / " << Picoseconds{65} << " / " << Picofarad{2};
+  EXPECT_EQ(os.str(), "1.05 V / 65 ps / 2 pF");
+}
+
+TEST(Units, NearComparison) {
+  EXPECT_TRUE(near(Volt{1.000}, Volt{1.0005}, Volt{0.001}));
+  EXPECT_FALSE(near(Volt{1.000}, Volt{1.002}, Volt{0.001}));
+  EXPECT_TRUE(near(Picoseconds{65.0}, Picoseconds{65.4}, Picoseconds{0.5}));
+}
+
+}  // namespace
+}  // namespace psnt

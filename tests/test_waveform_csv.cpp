@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "psn/waveform.h"
+
+namespace psnt::psn {
+namespace {
+
+using namespace psnt::literals;
+
+TEST(WaveformCsv, WriteProducesHeaderAndRows) {
+  Waveform w{100.0_ps, 50.0_ps, {1.0, 0.95, 1.05}};
+  std::ostringstream os;
+  w.write_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("time_ps,value"), std::string::npos);
+  // Header + three data rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("100,1"), std::string::npos);
+  // Values are written at full precision; verify numerically, not textually.
+  std::istringstream is(csv);
+  const Waveform back = Waveform::read_csv(is);
+  EXPECT_DOUBLE_EQ(back.samples()[1], 0.95);
+  EXPECT_DOUBLE_EQ(back.samples()[2], 1.05);
+}
+
+TEST(WaveformCsv, RoundTripsExactly) {
+  const Waveform original =
+      Waveform::sine(0.0_ps, 25.0_ps, 200, 1.0, 0.05, 0.1);
+  std::stringstream ss;
+  original.write_csv(ss);
+  const Waveform restored = Waveform::read_csv(ss);
+  ASSERT_EQ(restored.size(), original.size());
+  EXPECT_DOUBLE_EQ(restored.period().value(), 25.0);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(restored.samples()[i], original.samples()[i], 1e-9);
+  }
+}
+
+TEST(WaveformCsv, PreservesStartOffset) {
+  Waveform w{5000.0_ps, 10.0_ps, {0.9, 1.0, 1.1}};
+  std::stringstream ss;
+  w.write_csv(ss);
+  const Waveform restored = Waveform::read_csv(ss);
+  EXPECT_DOUBLE_EQ(restored.start().value(), 5000.0);
+  EXPECT_DOUBLE_EQ(restored.value_at(5010.0_ps), 1.0);
+}
+
+TEST(WaveformCsv, RejectsMalformedInput) {
+  {
+    std::stringstream ss("time_ps,value\n0,1.0\n");
+    EXPECT_THROW((void)Waveform::read_csv(ss), std::logic_error);  // 1 row
+  }
+  {
+    std::stringstream ss("time_ps,value\n0 1.0\n10 1.0\n");
+    EXPECT_THROW((void)Waveform::read_csv(ss), std::logic_error);  // no comma
+  }
+  {
+    std::stringstream ss("time_ps,value\n0,1.0\n10,1.0\n15,1.0\n");
+    EXPECT_THROW((void)Waveform::read_csv(ss),
+                 std::logic_error);  // non-uniform grid
+  }
+  {
+    std::stringstream ss("time_ps,value\n10,1.0\n0,1.0\n");
+    EXPECT_THROW((void)Waveform::read_csv(ss),
+                 std::logic_error);  // descending times
+  }
+}
+
+TEST(WaveformCsv, SkipsBlankLines) {
+  std::stringstream ss("time_ps,value\n0,1.0\n\n10,0.9\n\n20,1.1\n");
+  const Waveform w = Waveform::read_csv(ss);
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w.samples()[2], 1.1);
+}
+
+TEST(WaveformCsv, ImportedWaveformDrivesARail) {
+  std::stringstream ss("time_ps,value\n0,1.0\n100,0.9\n200,1.0\n");
+  const Waveform w = Waveform::read_csv(ss);
+  const analog::SampledRail rail = w.to_rail();
+  EXPECT_DOUBLE_EQ(rail.at(50.0_ps).value(), 0.95);
+}
+
+}  // namespace
+}  // namespace psnt::psn
