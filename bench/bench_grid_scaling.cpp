@@ -1,0 +1,133 @@
+// Grid runtime scaling — parallel scan-grid samples/sec vs thread count.
+//
+// The ROADMAP's scaling story quantified: a 16-site PSN scan grid (the
+// paper's Fig. 6 sensor replicated across a 4×4 floorplan) sampled through
+// the grid::ScanGrid runtime at 1/2/4/8 threads, against the single-thread
+// configuration as baseline. The table reports throughput, speedup, and a
+// bit-identity check of every per-site thermometer code against the serial
+// scan::PsnScanChain::broadcast_measure reference — parallelism must never
+// change a single measured word.
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "calib/fit.h"
+#include "grid/scan_grid.h"
+#include "scan/scan_chain.h"
+
+namespace psnt {
+namespace {
+
+using namespace psnt::literals;
+
+constexpr std::size_t kRows = 4;
+constexpr std::size_t kCols = 4;
+constexpr std::size_t kSamples = 96;
+constexpr std::uint64_t kSeed = 2026;
+
+grid::ScanGridConfig grid_config(std::size_t threads) {
+  grid::ScanGridConfig config;
+  config.threads = threads;
+  config.samples_per_site = kSamples;
+  config.interval = Picoseconds{10000.0};
+  config.code = core::DelayCode{3};
+  config.seed = kSeed;
+  return config;
+}
+
+grid::RailFactory bench_rails(const scan::Floorplan& fp) {
+  // ~50 mV IR gradient corner-to-corner plus a 4 mV per-site random offset:
+  // every site measures a genuinely different rail.
+  return grid::ScanGrid::ir_gradient_rails(fp, Volt{1.01}, 0.05 / 5657.0,
+                                           {0.0, 0.0}, 0.004);
+}
+
+// Serial reference words[site][sample] via the scan-chain broadcast API.
+std::vector<std::vector<core::ThermoWord>> serial_reference(
+    const scan::Floorplan& fp) {
+  const auto config = grid_config(1);
+  const auto& model = calib::calibrated().model;
+  const auto factory = bench_rails(fp);
+  scan::PsnScanChain chain{fp, config.thermometer};
+  std::vector<std::unique_ptr<analog::RailSource>> rails;
+  for (const auto& site : fp.sites()) {
+    auto rng = grid::ScanGrid::site_rng(config.seed, site.id);
+    rails.push_back(factory(site, rng));
+    chain.attach_site(site.id, analog::RailPair{rails.back().get(), nullptr},
+                      calib::make_paper_thermometer(model, config.thermometer));
+  }
+  std::vector<std::vector<core::ThermoWord>> words(
+      fp.site_count(), std::vector<core::ThermoWord>(kSamples));
+  for (std::size_t k = 0; k < kSamples; ++k) {
+    const auto snapshot = chain.broadcast_measure(
+        Picoseconds{static_cast<double>(k) * 10000.0}, config.code);
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      words[i][k] = snapshot[i].measurement.word;
+    }
+  }
+  return words;
+}
+
+void report() {
+  bench::section("grid scaling — 16-site scan grid, samples/sec vs threads");
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, kRows, kCols);
+  const auto reference = serial_reference(fp);
+
+  util::CsvTable table({"threads", "sites", "samples", "wall_ms",
+                        "samples_per_sec", "speedup_vs_1t", "ring_stalls",
+                        "bit_identical_to_serial"});
+  double baseline_sps = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    grid::ScanGrid g{fp, grid_config(threads), bench_rails(fp)};
+    const auto result = g.run();
+    if (threads == 1) baseline_sps = result.samples_per_second;
+
+    bool identical = true;
+    for (std::size_t i = 0; i < result.sites.size(); ++i) {
+      for (std::size_t k = 0; k < kSamples; ++k) {
+        identical &= result.sites[i].samples[k].word == reference[i][k];
+      }
+    }
+
+    table.new_row()
+        .add(static_cast<long long>(threads))
+        .add(static_cast<long long>(fp.site_count()))
+        .add(static_cast<long long>(result.produced))
+        .add(result.wall_seconds * 1e3, 4)
+        .add(result.samples_per_second, 7)
+        .add(baseline_sps > 0.0 ? result.samples_per_second / baseline_sps
+                                : 0.0,
+             3)
+        .add(static_cast<long long>(result.ring_stalls))
+        .add(identical ? "yes" : "NO");
+  }
+  bench::print_table(table);
+  bench::note("hardware_concurrency=" +
+              std::to_string(std::thread::hardware_concurrency()) +
+              "; speedup tracks physical cores — runs on a single-core "
+              "machine serialise and report ~1.0x");
+  bench::note("bit_identical_to_serial must read 'yes' in every row: the "
+              "runtime guarantees thread count never changes a measurement");
+}
+
+void BM_GridScan(benchmark::State& state) {
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, kRows, kCols);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto config = grid_config(threads);
+    config.samples_per_site = 16;
+    grid::ScanGrid g{fp, config, bench_rails(fp)};
+    const auto result = g.run();
+    benchmark::DoNotOptimize(result.produced);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fp.site_count()) * 16);
+}
+BENCHMARK(BM_GridScan)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace psnt
+
+PSNT_BENCH_MAIN(psnt::report)

@@ -3,51 +3,83 @@
 // The deployment the paper's conclusions sketch: the sensor runs
 // continuously inside the CUT, the controller picks Delay Codes by itself
 // (the "internal policy"), and the accumulated log is what escapes through
-// the scan chain for analysis. Exercises cut::scenarios, core::AutoRange,
-// and core::MeasurementLog together.
+// the scan chain for analysis.
+//
+// The measurement loop itself is the grid::ScanGrid runtime: each scenario
+// is one site of a scan grid with the per-site auto-range code policy, so
+// all scenarios are monitored concurrently on the thread pool and the
+// per-sample measure/observe/retrim sequencing lives in one place instead
+// of a hand-rolled polling loop here.
 #include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
 
-#include "calib/fit.h"
-#include "core/auto_range.h"
 #include "core/measurement_log.h"
-#include "core/thermometer.h"
 #include "cut/scenarios.h"
+#include "grid/scan_grid.h"
 
 int main() {
   using namespace psnt;
   using namespace psnt::literals;
 
-  const auto& model = calib::calibrated().model;
-
   std::printf("continuous PSN monitor: auto-ranged, per-scenario logs\n\n");
 
-  int failures = 0;
-  for (const auto kind : cut::all_scenarios()) {
+  // One grid site per scenario; the site's local rails are that scenario's
+  // solved VDD-n / GND-n waveforms.
+  const auto kinds = cut::all_scenarios();
+  std::vector<cut::Scenario> scenarios;
+  std::vector<std::shared_ptr<const analog::SampledRail>> vdd_rails;
+  std::vector<std::shared_ptr<const analog::SampledRail>> gnd_rails;
+  scan::Floorplan fp{1000.0, 1000.0};
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
     cut::ScenarioConfig config;
     config.horizon = Picoseconds{500000.0};
-    const auto scenario = cut::make_scenario(kind, config);
-    const analog::SampledRail vdd = scenario.vdd.to_rail();
-    const analog::SampledRail gnd = scenario.gnd.to_rail();
+    scenarios.push_back(cut::make_scenario(kinds[i], config));
+    vdd_rails.push_back(std::make_shared<const analog::SampledRail>(
+        scenarios.back().vdd.to_rail()));
+    gnd_rails.push_back(std::make_shared<const analog::SampledRail>(
+        scenarios.back().gnd.to_rail()));
+    fp.add_site(cut::to_string(kinds[i]),
+                {100.0 + 150.0 * static_cast<double>(i), 500.0});
+  }
 
-    auto thermometer = calib::make_paper_thermometer(model);
-    core::AutoRangeController ctrl;
+  grid::ScanGridConfig config;
+  config.threads = std::max(1u, std::thread::hardware_concurrency());
+  config.samples_per_site = 48;
+  config.start = Picoseconds{0.0};
+  config.interval = Picoseconds{10000.0};
+  config.code = core::DelayCode{3};
+  config.code_policy = grid::CodePolicy::kAutoRange;
+
+  auto vdd_factory = [&vdd_rails](const scan::SensorSite& site,
+                                  stats::Xoshiro256&)
+      -> std::unique_ptr<analog::RailSource> {
+    return std::make_unique<analog::SampledRail>(*vdd_rails[site.id]);
+  };
+  auto gnd_factory = [&gnd_rails](const scan::SensorSite& site,
+                                  stats::Xoshiro256&)
+      -> std::unique_ptr<analog::RailSource> {
+    return std::make_unique<analog::SampledRail>(*gnd_rails[site.id]);
+  };
+
+  grid::ScanGrid grid{fp, config, vdd_factory, gnd_factory};
+  const auto result = grid.run();
+
+  int failures = 0;
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const auto kind = kinds[i];
+    const auto& site = result.sites[i];
     core::MeasurementLog log{7};
-
-    core::DelayCode code = ctrl.code();
-    for (double t = 0.0; t < 480000.0; t += 10000.0) {
-      const auto m = thermometer.measure_vdd(analog::RailPair{&vdd, &gnd},
-                                             Picoseconds{t}, code);
-      log.record(m);
-      code = ctrl.observe(thermometer.encode(m.word), m.word.width());
-    }
+    for (const auto& m : site.samples) log.record(m);
 
     std::printf("[%s] %s\n", cut::to_string(kind),
-                scenario.description.c_str());
+                scenarios[i].description.c_str());
     std::printf("  measures=%zu  out-of-range=%.1f%%  code steps=%llu  "
                 "final code=%s\n",
                 log.size(), log.out_of_range_fraction() * 100.0,
-                static_cast<unsigned long long>(ctrl.steps_taken()),
-                code.to_string().c_str());
+                static_cast<unsigned long long>(site.code_steps),
+                site.final_code.to_string().c_str());
     if (log.worst() && log.best()) {
       std::printf("  worst reading %s at t=%.1f ns; best %s\n",
                   log.worst()->bin.to_string().c_str(),
@@ -60,7 +92,7 @@ int main() {
       // at a period faster than the re-trim loop — auto-ranging cannot keep
       // up and the code register hunts. That hunting itself is the alarm an
       // operator acts on (switch to iterated fixed-code capture instead).
-      const bool hunting_detected = ctrl.steps_taken() > 10;
+      const bool hunting_detected = site.code_steps > 10;
       std::printf("  resonance exceeds the window+loop bandwidth: %s\n",
                   hunting_detected ? "hunting alarm raised (expected)"
                                    : "!! hunting NOT detected");

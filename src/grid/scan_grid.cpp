@@ -1,0 +1,385 @@
+#include "grid/scan_grid.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "calib/fit.h"
+#include "core/full_system.h"
+#include "grid/spsc_ring.h"
+#include "grid/thread_pool.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace psnt::grid {
+
+namespace {
+
+// One measurement in flight from a worker to the aggregator.
+struct GridSample {
+  std::uint32_t site_index = 0;
+  std::uint32_t sample_index = 0;
+  core::Measurement measurement;
+  double wall_us = 0.0;  // producer-side wall time of the measure
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// Gate-level per-site model, built lazily on the worker thread so the whole
+// netlist (simulator, components, nets) stays thread-confined.
+struct StructuralModel {
+  StructuralModel(const analog::RailPair& rails, const ScanGridConfig& config)
+      : array(calib::make_paper_array(calib::calibrated().model)),
+        pg(calib::calibrated().model.pg_config()) {
+    core::FullStructuralSystem::Config sys_config;
+    sys_config.control_period = config.thermometer.control_period;
+    sys_config.code = config.code;
+    system = std::make_unique<core::FullStructuralSystem>(
+        sim, "site", array, pg, rails, sys_config);
+  }
+
+  sim::Simulator sim;
+  core::SensorArray array;
+  core::PulseGenerator pg;
+  std::unique_ptr<core::FullStructuralSystem> system;
+};
+
+struct ScanGrid::Site {
+  std::uint32_t id = 0;
+  std::uint32_t index = 0;
+  std::unique_ptr<analog::RailSource> vdd;
+  std::unique_ptr<analog::RailSource> gnd;  // may be null (ideal ground)
+  std::unique_ptr<core::NoiseThermometer> thermometer;
+  std::unique_ptr<core::AutoRangeController> auto_range;
+  std::unique_ptr<StructuralModel> structural;  // worker-thread lazy
+  core::DelayCode code;
+  std::uint64_t code_steps = 0;
+
+  [[nodiscard]] analog::RailPair rails() const {
+    return analog::RailPair{vdd.get(), gnd.get()};
+  }
+};
+
+struct ScanGrid::Shard {
+  std::size_t index = 0;
+  std::vector<Site*> sites;
+  SpscRing<GridSample> ring;
+  std::atomic<bool> done{false};
+
+  explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+};
+
+namespace {
+
+// Producer-side backpressure: block (lossless, stalls counted) or drop the
+// newest sample (lossy, drops counted). `produced` counts every attempt.
+void push_with_backpressure(BackpressurePolicy policy,
+                            SpscRing<GridSample>& ring, GridSample& sample,
+                            Counter& stalls, Counter& drops,
+                            Counter& produced) {
+  produced.increment();
+  if (policy == BackpressurePolicy::kBlockProducer) {
+    while (!ring.try_push(std::move(sample))) {
+      stalls.increment();
+      std::this_thread::yield();
+    }
+  } else if (!ring.try_push(std::move(sample))) {
+    drops.increment();
+  }
+}
+
+}  // namespace
+
+ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
+                   RailFactory vdd_factory, RailFactory gnd_factory)
+    : floorplan_(floorplan), config_(config) {
+  PSNT_CHECK(floorplan.site_count() > 0, "grid needs at least one site");
+  PSNT_CHECK(config_.samples_per_site > 0, "need at least one sample");
+  PSNT_CHECK(config_.interval.value() > 0.0, "sample interval must advance");
+  PSNT_CHECK(vdd_factory != nullptr, "a vdd RailFactory is required");
+  PSNT_CHECK(config_.fidelity == SiteFidelity::kBehavioral ||
+                 config_.code_policy == CodePolicy::kFixed,
+             "auto-ranging requires the behavioral fidelity");
+  if (config_.threads == 0) config_.threads = 1;
+  if (config_.batch == 0) config_.batch = 1;
+
+  // Force the (thread-safe, but serial) calibration fit before any worker
+  // can race to be first through the magic static.
+  const auto& model = calib::calibrated().model;
+
+  // Sites are built in floorplan order on the caller thread so every
+  // stochastic draw happens in a deterministic sequence per site.
+  sites_.reserve(floorplan.site_count());
+  for (const auto& record : floorplan.sites()) {
+    auto site = std::make_unique<Site>();
+    site->id = record.id;
+    site->index = static_cast<std::uint32_t>(sites_.size());
+    auto rng = site_rng(config_.seed, record.id);
+    site->vdd = vdd_factory(record, rng);
+    PSNT_CHECK(site->vdd != nullptr, "RailFactory returned null vdd rail");
+    if (gnd_factory) site->gnd = gnd_factory(record, rng);
+    if (config_.fidelity == SiteFidelity::kBehavioral) {
+      site->thermometer = std::make_unique<core::NoiseThermometer>(
+          calib::make_paper_thermometer(model, config_.thermometer));
+    }
+    if (config_.code_policy == CodePolicy::kAutoRange) {
+      core::AutoRangeConfig ar;
+      ar.initial = config_.code;
+      site->auto_range = std::make_unique<core::AutoRangeController>(ar);
+    }
+    site->code = config_.code;
+    sites_.push_back(std::move(site));
+  }
+
+  // Round-robin sharding: shard s owns sites s, s+S, s+2S, ... One worker
+  // job per shard keeps the SPSC producer contract.
+  const std::size_t shard_count = std::min(config_.threads, sites_.size());
+  shards_.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>(config_.ring_capacity);
+    shard->index = s;
+    for (std::size_t i = s; i < sites_.size(); i += shard_count) {
+      shard->sites.push_back(sites_[i].get());
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ScanGrid::~ScanGrid() = default;
+
+stats::Xoshiro256 ScanGrid::site_rng(std::uint64_t seed,
+                                     std::uint32_t site_id) {
+  // Decorrelate the per-site streams: hash the master seed once, then mix in
+  // the site id with the golden-ratio multiplier. Thread-count independent.
+  stats::SplitMix64 mix(seed);
+  const std::uint64_t base = mix.next();
+  return stats::Xoshiro256(
+      base ^ (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(site_id) + 1)));
+}
+
+Picoseconds ScanGrid::sample_time(std::size_t k) const {
+  return Picoseconds{config_.start.value() +
+                     static_cast<double>(k) * config_.interval.value()};
+}
+
+void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
+                              Shard& shard) {
+  auto& stalls = telemetry_.counter("grid.ring_stalls");
+  auto& drops = telemetry_.counter("grid.samples_dropped");
+  auto& produced = telemetry_.counter("grid.samples_produced");
+
+  if (config_.fidelity == SiteFidelity::kStructural && !site.structural) {
+    site.structural = std::make_unique<StructuralModel>(site.rails(), config_);
+  }
+
+  std::vector<core::ThermoWord> structural_words;
+  if (config_.fidelity == SiteFidelity::kStructural) {
+    const double t0 = now_seconds();
+    structural_words =
+        site.structural->system->run_measures(count, /*configure_first=*/first == 0);
+    const double per_sample_us =
+        (now_seconds() - t0) * 1e6 / static_cast<double>(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      GridSample s;
+      s.site_index = site.index;
+      s.sample_index = static_cast<std::uint32_t>(first + k);
+      s.measurement.timestamp = sample_time(first + k);
+      s.measurement.code = config_.code;
+      s.measurement.word = structural_words[k];
+      s.wall_us = per_sample_us;
+      push_with_backpressure(config_.backpressure, shard.ring, s, stalls,
+                             drops, produced);
+    }
+    return;
+  }
+
+  for (std::size_t k = first; k < first + count; ++k) {
+    const double t0 = now_seconds();
+    GridSample s;
+    s.site_index = site.index;
+    s.sample_index = static_cast<std::uint32_t>(k);
+    s.measurement =
+        site.thermometer->measure_vdd(site.rails(), sample_time(k), site.code);
+    s.wall_us = (now_seconds() - t0) * 1e6;
+    if (site.auto_range) {
+      site.code = site.auto_range->observe(
+          site.thermometer->encode(s.measurement.word),
+          s.measurement.word.width());
+      site.code_steps = site.auto_range->steps_taken();
+    }
+    push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
+                           produced);
+  }
+}
+
+void ScanGrid::worker_run_shard(Shard& shard) {
+  struct DoneGuard {
+    Shard& shard;
+    ~DoneGuard() { shard.done.store(true, std::memory_order_release); }
+  } guard{shard};
+
+  const std::size_t samples = config_.samples_per_site;
+  for (std::size_t base = 0; base < samples; base += config_.batch) {
+    const std::size_t count = std::min(config_.batch, samples - base);
+    for (Site* site : shard.sites) {
+      run_site_batch(*site, base, count, shard);
+    }
+  }
+}
+
+void ScanGrid::aggregate(RunResult& result) {
+  auto& drained_counter = telemetry_.counter("grid.samples_drained");
+  auto& latency = telemetry_.histogram("grid.measure_latency_us", 0.0, 500.0, 50);
+  auto& volts = telemetry_.histogram("grid.vdd_volts", 0.7, 1.3, 60);
+  auto& vdd_rollup = telemetry_.site_rollup("site_vdd_volts", sites_.size());
+  auto& ones_rollup = telemetry_.site_rollup("site_word_ones", sites_.size());
+  auto& depth = telemetry_.gauge("grid.ring_depth_last");
+  auto& snapshots = telemetry_.counter("grid.snapshots_exported");
+
+  std::uint64_t drained = 0;
+  for (;;) {
+    // Read the done flags BEFORE the drain pass: if every worker had
+    // finished before we drained and the rings still came up empty, no new
+    // sample can appear and the scan is complete.
+    bool all_done = true;
+    for (const auto& shard : shards_) {
+      if (!shard->done.load(std::memory_order_acquire)) {
+        all_done = false;
+        break;
+      }
+    }
+
+    bool any = false;
+    for (const auto& shard : shards_) {
+      GridSample s;
+      while (shard->ring.try_pop(s)) {
+        any = true;
+        ++drained;
+        drained_counter.increment();
+        auto& sr = result.sites[s.site_index];
+        sr.samples[s.sample_index] = s.measurement;
+        sr.valid[s.sample_index] = true;
+        latency.observe(s.wall_us);
+        const auto& bin = s.measurement.bin;
+        if (bin.in_range()) volts.observe(bin.estimate().value());
+        if (!bin.below_range() || !bin.above_range()) {
+          vdd_rollup.add(s.site_index, bin.estimate().value());
+        }
+        ones_rollup.add(s.site_index,
+                        static_cast<double>(s.measurement.word.count_ones()));
+        if (config_.snapshot_every > 0 && !config_.snapshot_csv_path.empty() &&
+            drained % config_.snapshot_every == 0) {
+          if (telemetry_.export_csv(config_.snapshot_csv_path)) {
+            snapshots.increment();
+          }
+        }
+      }
+      depth.set(static_cast<double>(shard->ring.size()));
+    }
+
+    if (!any) {
+      if (all_done) break;
+      std::this_thread::yield();
+    }
+  }
+}
+
+RunResult ScanGrid::run() {
+  PSNT_CHECK(!ran_, "ScanGrid::run is single-shot; build a fresh grid");
+  ran_ = true;
+
+  RunResult result;
+  result.sites.resize(sites_.size());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    auto& sr = result.sites[i];
+    sr.site_id = sites_[i]->id;
+    sr.samples.resize(config_.samples_per_site);
+    sr.valid.assign(config_.samples_per_site, false);
+  }
+
+  const double t0 = now_seconds();
+  {
+    ThreadPool pool(shards_.size());
+    for (auto& shard : shards_) {
+      Shard* s = shard.get();
+      pool.submit([this, s] { worker_run_shard(*s); });
+    }
+    aggregate(result);
+    pool.shutdown();
+    pool.rethrow_first_exception();
+  }
+  result.wall_seconds = now_seconds() - t0;
+
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    result.sites[i].final_code = sites_[i]->code;
+    result.sites[i].code_steps = sites_[i]->code_steps;
+  }
+  result.produced = telemetry_.counter("grid.samples_produced").value();
+  result.dropped = telemetry_.counter("grid.samples_dropped").value();
+  result.ring_stalls = telemetry_.counter("grid.ring_stalls").value();
+  result.samples_per_second =
+      result.wall_seconds > 0.0
+          ? static_cast<double>(result.produced) / result.wall_seconds
+          : 0.0;
+
+  if (!config_.snapshot_csv_path.empty()) {
+    if (telemetry_.export_csv(config_.snapshot_csv_path)) {
+      telemetry_.counter("grid.snapshots_exported").increment();
+    }
+  }
+  return result;
+}
+
+RailFactory ScanGrid::constant_rails(Volt v) {
+  return [v](const scan::SensorSite&, stats::Xoshiro256&) {
+    return std::make_unique<analog::ConstantRail>(v);
+  };
+}
+
+RailFactory ScanGrid::ir_gradient_rails(const scan::Floorplan& floorplan,
+                                        Volt v_pad, double drop_per_um,
+                                        scan::Point pad, double sigma_volts) {
+  (void)floorplan;  // geometry comes from the site record itself
+  return [=](const scan::SensorSite& site, stats::Xoshiro256& rng) {
+    const double dist = std::hypot(site.position.x_um - pad.x_um,
+                                   site.position.y_um - pad.y_um);
+    double v = v_pad.value() - drop_per_um * dist;
+    if (sigma_volts > 0.0) v += rng.normal(0.0, sigma_volts);
+    return std::make_unique<analog::ConstantRail>(Volt{v});
+  };
+}
+
+RailFactory ScanGrid::scaled_waveform_rails(
+    const scan::Floorplan& floorplan,
+    std::shared_ptr<const analog::SampledRail> waveform, Volt v_nominal,
+    double far_scale, scan::Point pad) {
+  PSNT_CHECK(waveform != nullptr, "scaled_waveform_rails needs a waveform");
+  // Farthest corner of the die from the pad normalises the scaling ramp.
+  double dist_max = 1.0;
+  for (const double cx : {0.0, floorplan.width_um()}) {
+    for (const double cy : {0.0, floorplan.height_um()}) {
+      dist_max = std::max(
+          dist_max, std::hypot(cx - pad.x_um, cy - pad.y_um));
+    }
+  }
+  return [=](const scan::SensorSite& site, stats::Xoshiro256&)
+             -> std::unique_ptr<analog::RailSource> {
+    const double dist = std::hypot(site.position.x_um - pad.x_um,
+                                   site.position.y_um - pad.y_um);
+    const double scale = 1.0 + (far_scale - 1.0) * dist / dist_max;
+    const double v_nom = v_nominal.value();
+    return std::make_unique<analog::CallbackRail>(
+        [waveform, scale, v_nom](Picoseconds t) {
+          return Volt{v_nom + scale * (waveform->at(t).value() - v_nom)};
+        });
+  };
+}
+
+}  // namespace psnt::grid

@@ -1,0 +1,178 @@
+// Parallel PSN scan-grid runtime.
+//
+// The paper's scan-chain usage model at datacenter scale: many independent
+// per-site sensor simulations run on a fixed-size thread pool, each site's
+// measurements stream through a bounded SPSC ring into a central aggregator
+// that maintains telemetry (counters, latency/value histograms, per-site
+// OnlineStats rollups) and assembles the ordered result matrix.
+//
+// Threading model
+//   * Sites are sharded round-robin across `threads` shards; each shard is
+//     one long-lived job on the grid::ThreadPool, so exactly one thread
+//     produces into each shard's SpscRing (the SPSC contract).
+//   * The caller's thread is the aggregator: it drains every ring until all
+//     shards report done, then joins the pool and rethrows the first worker
+//     exception, if any.
+//
+// Determinism
+//   Results are keyed by (site index, sample index) — never by arrival
+//   order — and every stochastic input is derived from the grid seed:
+//   site i's RNG stream is site_rng(seed, i) regardless of which thread
+//   simulates it, and each site owns its thermometer, so the per-site call
+//   sequence (sample 0, 1, 2, ...) is identical to a serial run. A parallel
+//   run is therefore bit-identical to scan::PsnScanChain::broadcast_measure
+//   iterated over the same times with the same rails and thermometers
+//   (tests/test_scan_grid.cpp asserts this site-for-site).
+//
+// Backpressure
+//   kBlockProducer (default): a full ring stalls the producing worker
+//   (yield loop; stalls counted in telemetry) — lossless, the mode every
+//   determinism guarantee above assumes for result completeness.
+//   kDropNewest: a full ring drops the sample (drop counted, the result
+//   slot stays invalid) — for telemetry-only monitoring where the consumer
+//   may fall behind.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analog/rail.h"
+#include "core/auto_range.h"
+#include "core/measurement.h"
+#include "core/thermometer.h"
+#include "grid/telemetry.h"
+#include "scan/floorplan.h"
+#include "stats/rng.h"
+#include "util/units.h"
+
+namespace psnt::grid {
+
+enum class BackpressurePolicy { kBlockProducer, kDropNewest };
+
+// Per-site model fidelity. kBehavioral uses core::NoiseThermometer (the
+// scan-chain reference path). kStructural builds a private sim::Simulator +
+// core::FullStructuralSystem per site on its worker thread and runs real
+// gate-level PREPARE/SENSE transactions (≈1000× slower per sample; words
+// only, no voltage bins).
+enum class SiteFidelity { kBehavioral, kStructural };
+
+// How each site picks its Delay Code. kFixed uses config.code for every
+// sample; kAutoRange gives each site a core::AutoRangeController seeded at
+// config.code that re-trims after every sample (still deterministic: the
+// controller only sees the site's own sample sequence).
+enum class CodePolicy { kFixed, kAutoRange };
+
+// Builds one site's rail source, deterministically, from the site record and
+// the site's private RNG stream. Must be pure apart from the RNG (it may be
+// invoked from the grid constructor for every site, in site order).
+using RailFactory = std::function<std::unique_ptr<analog::RailSource>(
+    const scan::SensorSite&, stats::Xoshiro256&)>;
+
+struct ScanGridConfig {
+  std::size_t threads = 1;
+  std::size_t samples_per_site = 16;
+  Picoseconds start{0.0};
+  Picoseconds interval{10000.0};
+  core::DelayCode code{3};
+  std::uint64_t seed = 2026;
+  core::ThermometerConfig thermometer;
+  SiteFidelity fidelity = SiteFidelity::kBehavioral;
+  CodePolicy code_policy = CodePolicy::kFixed;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlockProducer;
+  // Per-shard ring capacity (rounded up to a power of two).
+  std::size_t ring_capacity = 256;
+  // Samples a worker runs per site before moving to the next site of its
+  // shard — the PREPARE/SENSE batch size. Larger batches improve model
+  // locality; per-site sample order is unaffected, so determinism holds.
+  std::size_t batch = 8;
+  // When non-empty, the aggregator exports the telemetry snapshot to this
+  // CSV path every `snapshot_every` drained samples (and once at the end).
+  std::string snapshot_csv_path;
+  std::size_t snapshot_every = 0;  // 0 = final snapshot only
+};
+
+struct SiteResult {
+  std::uint32_t site_id = 0;
+  // Indexed by sample number; `valid[k]` is false for samples dropped under
+  // kDropNewest.
+  std::vector<core::Measurement> samples;
+  std::vector<bool> valid;
+  core::DelayCode final_code;
+  std::uint64_t code_steps = 0;  // auto-range steps (0 under kFixed)
+};
+
+struct RunResult {
+  std::vector<SiteResult> sites;  // ordered by floorplan site index
+  std::uint64_t produced = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t ring_stalls = 0;
+  double wall_seconds = 0.0;
+  double samples_per_second = 0.0;
+};
+
+class ScanGrid {
+ public:
+  // Thermometers are calib::make_paper_thermometer(calibrated().model,
+  // config.thermometer) — one per site, same as the serial scan-chain
+  // reference. `gnd_factory` may be null (sites sense against ideal ground).
+  ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
+           RailFactory vdd_factory, RailFactory gnd_factory = nullptr);
+  ~ScanGrid();
+
+  ScanGrid(const ScanGrid&) = delete;
+  ScanGrid& operator=(const ScanGrid&) = delete;
+
+  // Executes the full scan (blocking; the calling thread aggregates).
+  // Callable once per ScanGrid instance.
+  RunResult run();
+
+  [[nodiscard]] TelemetryRegistry& telemetry() { return telemetry_; }
+  [[nodiscard]] std::size_t site_count() const { return sites_.size(); }
+
+  // The deterministic per-site RNG stream: what site i's RailFactory sees.
+  // Exposed so a serial reference can reconstruct identical rails.
+  [[nodiscard]] static stats::Xoshiro256 site_rng(std::uint64_t seed,
+                                                  std::uint32_t site_id);
+
+  // Sample k of every site is measured at this instant (matching an
+  // iterated broadcast_measure schedule).
+  [[nodiscard]] Picoseconds sample_time(std::size_t k) const;
+
+  // --- stock rail factories -------------------------------------------
+  // Constant rail at `v` for every site.
+  [[nodiscard]] static RailFactory constant_rails(Volt v);
+  // IR-drop gradient: v_pad minus drop_per_um × distance to `pad`, plus a
+  // per-site N(0, sigma_volts) offset from the site's RNG stream.
+  [[nodiscard]] static RailFactory ir_gradient_rails(
+      const scan::Floorplan& floorplan, Volt v_pad, double drop_per_um,
+      scan::Point pad = {0.0, 0.0}, double sigma_volts = 0.0);
+  // Shared waveform, per-site scaled deviations: site voltage is
+  // v_nominal + k(site) × (w(t) − v_nominal) where k grows linearly from
+  // 1.0 at `pad` to `far_scale` at the far corner — the classic "corner
+  // sites droop more" pattern over one solved PDN waveform.
+  [[nodiscard]] static RailFactory scaled_waveform_rails(
+      const scan::Floorplan& floorplan,
+      std::shared_ptr<const analog::SampledRail> waveform, Volt v_nominal,
+      double far_scale, scan::Point pad = {0.0, 0.0});
+
+ private:
+  struct Site;
+  struct Shard;
+
+  void worker_run_shard(Shard& shard);
+  void run_site_batch(Site& site, std::size_t first, std::size_t count,
+                      Shard& shard);
+  void aggregate(RunResult& result);
+
+  const scan::Floorplan& floorplan_;
+  ScanGridConfig config_;
+  TelemetryRegistry telemetry_;
+  std::vector<std::unique_ptr<Site>> sites_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool ran_ = false;
+};
+
+}  // namespace psnt::grid

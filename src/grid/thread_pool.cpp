@@ -1,0 +1,106 @@
+#include "grid/thread_pool.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace psnt::grid {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::submit(Job job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::logic_error("ThreadPool::submit after shutdown");
+    }
+    queue_.push_back(std::move(job));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // A second shutdown() (e.g. explicit call then destructor) must not
+      // re-join the threads.
+      return;
+    }
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t ThreadPool::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+std::vector<std::exception_ptr> ThreadPool::take_exceptions() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::exchange(exceptions_, {});
+}
+
+void ThreadPool::rethrow_first_exception() {
+  std::exception_ptr first;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (exceptions_.empty()) return;
+    first = exceptions_.front();
+    exceptions_.erase(exceptions_.begin());
+  }
+  std::rethrow_exception(first);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        // stopping_ with a drained queue: graceful exit.
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    bool now_idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error) exceptions_.push_back(std::move(error));
+      --active_;
+      ++completed_;
+      now_idle = queue_.empty() && active_ == 0;
+    }
+    if (now_idle) idle_.notify_all();
+  }
+}
+
+}  // namespace psnt::grid

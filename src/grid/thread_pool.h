@@ -1,0 +1,73 @@
+// Fixed-size worker pool with a bounded-latency shutdown and exception
+// capture.
+//
+// The scan-grid runtime schedules one long-lived job per site shard, but the
+// pool is deliberately generic: any callable can be submitted, jobs may be
+// queued beyond the thread count, and a job that throws does not kill the
+// worker — the exception is captured and re-surfaced to the owner through
+// take_exceptions() / rethrow_first_exception(). This keeps a failing site
+// simulation from silently wedging a 1000-site scan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psnt::grid {
+
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  // Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads);
+
+  // Joins all workers; pending jobs still in the queue are executed first
+  // (graceful drain), mirroring shutdown().
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a job. Throws std::logic_error after shutdown() began.
+  void submit(Job job);
+
+  // Blocks until the queue is empty and no job is executing. Does not stop
+  // the workers — more jobs may be submitted afterwards.
+  void wait_idle();
+
+  // Stops accepting jobs, drains the queue, joins the workers. Idempotent.
+  void shutdown();
+
+  // Jobs completed so far (including ones that threw).
+  [[nodiscard]] std::size_t completed() const;
+
+  // Takes ownership of every exception captured since the last call, in
+  // completion order.
+  [[nodiscard]] std::vector<std::exception_ptr> take_exceptions();
+
+  // Convenience: rethrows the oldest captured exception, if any.
+  void rethrow_first_exception();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::vector<std::exception_ptr> exceptions_;
+  std::size_t active_ = 0;
+  std::size_t completed_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace psnt::grid

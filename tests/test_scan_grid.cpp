@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "calib/fit.h"
+#include "grid/scan_grid.h"
+#include "scan/scan_chain.h"
+
+namespace psnt::grid {
+namespace {
+
+using namespace psnt::literals;
+
+ScanGridConfig base_config(std::size_t threads) {
+  ScanGridConfig config;
+  config.threads = threads;
+  config.samples_per_site = 6;
+  config.start = Picoseconds{0.0};
+  config.interval = Picoseconds{10000.0};
+  config.code = core::DelayCode{3};
+  config.seed = 7;
+  return config;
+}
+
+// The per-site IR gradient + per-site random offset every test below shares.
+RailFactory test_rails(const scan::Floorplan& fp) {
+  return ScanGrid::ir_gradient_rails(fp, Volt{1.01}, 0.05 / 5657.0,
+                                     {0.0, 0.0}, /*sigma_volts=*/0.004);
+}
+
+TEST(ScanGrid, RunProducesEverySampleOfEverySite) {
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
+  ScanGrid grid{fp, base_config(4), test_rails(fp)};
+  const auto result = grid.run();
+
+  ASSERT_EQ(result.sites.size(), 16u);
+  EXPECT_EQ(result.produced, 16u * 6u);
+  EXPECT_EQ(result.dropped, 0u);
+  for (const auto& site : result.sites) {
+    ASSERT_EQ(site.samples.size(), 6u);
+    for (std::size_t k = 0; k < 6; ++k) {
+      EXPECT_TRUE(site.valid[k]);
+      EXPECT_EQ(site.samples[k].word.width(), 7u);
+      // The recorded timestamp is the SENSE sampling edge, a few control
+      // cycles after the transaction launch at sample_time(k).
+      EXPECT_GE(site.samples[k].timestamp, grid.sample_time(k));
+    }
+  }
+  // Telemetry agrees with the result matrix.
+  EXPECT_EQ(grid.telemetry().counter("grid.samples_drained").value(),
+            16u * 6u);
+  auto& latency =
+      grid.telemetry().histogram("grid.measure_latency_us", 0.0, 500.0, 50);
+  EXPECT_EQ(latency.stats().count(), 16u * 6u);
+  const auto& rollup = grid.telemetry().site_rollup("site_word_ones", 16);
+  EXPECT_EQ(rollup.merged().count(), 16u * 6u);
+}
+
+TEST(ScanGrid, DeterministicAcrossThreadCounts) {
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
+  ScanGrid serial{fp, base_config(1), test_rails(fp)};
+  ScanGrid parallel{fp, base_config(4), test_rails(fp)};
+  const auto a = serial.run();
+  const auto b = parallel.run();
+
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    for (std::size_t k = 0; k < 6; ++k) {
+      EXPECT_EQ(a.sites[i].samples[k].word, b.sites[i].samples[k].word)
+          << "site " << i << " sample " << k;
+      EXPECT_EQ(a.sites[i].samples[k].bin.to_string(),
+                b.sites[i].samples[k].bin.to_string());
+    }
+  }
+}
+
+TEST(ScanGrid, MatchesSerialScanChainBroadcastSiteForSite) {
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
+  const auto config = base_config(4);
+  ScanGrid grid{fp, config, test_rails(fp)};
+  const auto result = grid.run();
+
+  // Serial reference: a PsnScanChain over the *same* rails (reconstructed
+  // from the grid's published per-site RNG streams) and the same calibrated
+  // thermometers, broadcast at the same schedule.
+  const auto& model = calib::calibrated().model;
+  const auto factory = test_rails(fp);
+  scan::PsnScanChain chain{fp, config.thermometer};
+  std::vector<std::unique_ptr<analog::RailSource>> rails;
+  for (const auto& site : fp.sites()) {
+    auto rng = ScanGrid::site_rng(config.seed, site.id);
+    rails.push_back(factory(site, rng));
+    chain.attach_site(site.id, analog::RailPair{rails.back().get(), nullptr},
+                      calib::make_paper_thermometer(model, config.thermometer));
+  }
+
+  for (std::size_t k = 0; k < config.samples_per_site; ++k) {
+    const auto snapshot =
+        chain.broadcast_measure(grid.sample_time(k), config.code);
+    ASSERT_EQ(snapshot.size(), result.sites.size());
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+      EXPECT_EQ(result.sites[i].samples[k].word, snapshot[i].measurement.word)
+          << "site " << i << " sample " << k
+          << ": parallel grid diverged from the serial broadcast reference";
+    }
+  }
+}
+
+TEST(ScanGrid, RunIsSingleShot) {
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  ScanGrid grid{fp, base_config(2), ScanGrid::constant_rails(1.0_V)};
+  (void)grid.run();
+  EXPECT_THROW((void)grid.run(), std::logic_error);
+}
+
+TEST(ScanGrid, WorkerExceptionPropagatesToCaller) {
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 2, 2);
+  auto faulty = [](const scan::SensorSite& site, stats::Xoshiro256&)
+      -> std::unique_ptr<analog::RailSource> {
+    if (site.id == 3) {
+      return std::make_unique<analog::CallbackRail>(
+          [](Picoseconds) -> Volt { throw std::runtime_error("rail fault"); });
+    }
+    return std::make_unique<analog::ConstantRail>(Volt{1.0});
+  };
+  ScanGrid grid{fp, base_config(2), faulty};
+  EXPECT_THROW((void)grid.run(), std::runtime_error);
+}
+
+TEST(ScanGrid, AutoRangePolicyTrimsPerSiteAndStaysDeterministic) {
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto config = base_config(2);
+  config.samples_per_site = 10;
+  config.code_policy = CodePolicy::kAutoRange;
+  // 0.85 V sits outside code 011's window: the per-site controller must
+  // walk the code until readings come back in range.
+  ScanGrid first{fp, config, ScanGrid::constant_rails(Volt{0.85})};
+  ScanGrid again{fp, config, ScanGrid::constant_rails(Volt{0.85})};
+  const auto a = first.run();
+  const auto b = again.run();
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_GT(a.sites[i].code_steps, 0u);
+    EXPECT_NE(a.sites[i].final_code, config.code);
+    EXPECT_EQ(a.sites[i].final_code, b.sites[i].final_code);
+    for (std::size_t k = 0; k < config.samples_per_site; ++k) {
+      EXPECT_EQ(a.sites[i].samples[k].word, b.sites[i].samples[k].word);
+      EXPECT_EQ(a.sites[i].samples[k].code, b.sites[i].samples[k].code);
+    }
+  }
+}
+
+TEST(ScanGrid, DropNewestPolicyAccountsForEverySample) {
+  const auto fp = scan::Floorplan::grid(2000.0, 2000.0, 2, 2);
+  auto config = base_config(2);
+  config.backpressure = BackpressurePolicy::kDropNewest;
+  config.ring_capacity = 2;  // tiny ring: drops become possible, not certain
+  ScanGrid grid{fp, config, test_rails(fp)};
+  const auto result = grid.run();
+  std::uint64_t valid = 0;
+  for (const auto& site : result.sites) {
+    for (bool v : site.valid) valid += v ? 1 : 0;
+  }
+  EXPECT_EQ(result.produced, 4u * 6u);
+  EXPECT_EQ(valid + result.dropped, result.produced);
+}
+
+TEST(ScanGrid, FinalCsvSnapshotIsExported) {
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto config = base_config(2);
+  config.snapshot_csv_path = ::testing::TempDir() + "psnt_grid_snapshot.csv";
+  ScanGrid grid{fp, config, ScanGrid::constant_rails(1.0_V)};
+  (void)grid.run();
+  std::ifstream in(config.snapshot_csv_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("grid.samples_produced"), std::string::npos);
+  EXPECT_NE(content.str().find("site_vdd_volts"), std::string::npos);
+}
+
+TEST(ScanGrid, StructuralFidelityAgreesWithBehavioralOnQuietRails) {
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto config = base_config(2);
+  config.samples_per_site = 2;
+  ScanGrid behavioral{fp, config, ScanGrid::constant_rails(1.0_V)};
+  auto structural_config = config;
+  structural_config.fidelity = SiteFidelity::kStructural;
+  ScanGrid structural{fp, structural_config, ScanGrid::constant_rails(1.0_V)};
+  const auto b = behavioral.run();
+  const auto s = structural.run();
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(s.sites[i].samples[k].word, b.sites[i].samples[k].word)
+          << "gate-level site " << i << " diverged at sample " << k;
+    }
+  }
+}
+
+TEST(ScanGrid, RejectsInvalidConfigurations) {
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto config = base_config(1);
+  config.samples_per_site = 0;
+  EXPECT_THROW(
+      (ScanGrid{fp, config, ScanGrid::constant_rails(1.0_V)}),
+      std::logic_error);
+
+  auto structural_autorange = base_config(1);
+  structural_autorange.fidelity = SiteFidelity::kStructural;
+  structural_autorange.code_policy = CodePolicy::kAutoRange;
+  EXPECT_THROW(
+      (ScanGrid{fp, structural_autorange, ScanGrid::constant_rails(1.0_V)}),
+      std::logic_error);
+
+  EXPECT_THROW((ScanGrid{fp, base_config(1), nullptr}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace psnt::grid

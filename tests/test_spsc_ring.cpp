@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "grid/spsc_ring.h"
+
+namespace psnt::grid {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> r3{3};
+  EXPECT_EQ(r3.capacity(), 4u);
+  SpscRing<int> r8{8};
+  EXPECT_EQ(r8.capacity(), 8u);
+  SpscRing<int> r1{1};
+  EXPECT_EQ(r1.capacity(), 1u);
+  EXPECT_THROW(SpscRing<int>{0}, std::logic_error);
+}
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring{4};
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  EXPECT_EQ(ring.size(), 4u);
+  // Full: push fails and leaves the ring intact.
+  EXPECT_FALSE(ring.try_push(99));
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);  // FIFO order
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, WraparoundPreservesFifoOrder) {
+  SpscRing<int> ring{4};
+  int out = -1;
+  // Drive head/tail far past the capacity so indices wrap many times.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(ring.try_push(int{i}));
+    EXPECT_TRUE(ring.try_push(i + 1000000));
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+    EXPECT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i + 1000000);
+  }
+}
+
+TEST(SpscRing, MoveOnlyPayload) {
+  SpscRing<std::unique_ptr<int>> ring{2};
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscRing, FailedPushLeavesValueUnconsumed) {
+  SpscRing<std::unique_ptr<int>> ring{1};
+  EXPECT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  auto value = std::make_unique<int>(2);
+  EXPECT_FALSE(ring.try_push(std::move(value)));
+  // The failed push must not have stolen the payload.
+  ASSERT_TRUE(value);
+  EXPECT_EQ(*value, 2);
+}
+
+TEST(SpscRing, ProducerConsumerStress) {
+  constexpr std::uint64_t kCount = 200000;
+  SpscRing<std::uint64_t> ring{64};  // small ring to force contention
+  std::uint64_t consumer_sum = 0;
+  std::uint64_t consumed = 0;
+
+  std::thread consumer([&] {
+    std::uint64_t expected = 0;
+    std::uint64_t v = 0;
+    while (consumed < kCount) {
+      if (ring.try_pop(v)) {
+        // Order must survive concurrency, not just the multiset of values.
+        ASSERT_EQ(v, expected);
+        ++expected;
+        consumer_sum += v;
+        ++consumed;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    while (!ring.try_push(std::uint64_t{i})) std::this_thread::yield();
+  }
+  consumer.join();
+
+  EXPECT_EQ(consumed, kCount);
+  EXPECT_EQ(consumer_sum, kCount * (kCount - 1) / 2);
+  EXPECT_TRUE(ring.empty());
+}
+
+}  // namespace
+}  // namespace psnt::grid

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "grid/telemetry.h"
+
+namespace psnt::grid {
+namespace {
+
+TEST(Telemetry, CounterIsMonotonicAndSharedByName) {
+  TelemetryRegistry reg;
+  reg.counter("samples").increment();
+  reg.counter("samples").increment(9);
+  EXPECT_EQ(reg.counter("samples").value(), 10u);
+  EXPECT_EQ(reg.counter("other").value(), 0u);
+}
+
+TEST(Telemetry, CounterSurvivesConcurrentIncrements) {
+  TelemetryRegistry reg;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      // Lookup + increment from every thread: exercises the registry lock
+      // and the atomic counter together.
+      for (int i = 0; i < kPerThread; ++i) reg.counter("hits").increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("hits").value(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(Telemetry, GaugeHoldsLatestValue) {
+  TelemetryRegistry reg;
+  reg.gauge("depth").set(3.0);
+  reg.gauge("depth").set(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("depth").value(), 1.5);
+}
+
+TEST(Telemetry, HistogramTracksStatsAndQuantiles) {
+  TelemetryRegistry reg;
+  auto& h = reg.histogram("latency_us", 0.0, 100.0, 10);
+  for (int i = 0; i < 100; ++i) h.observe(static_cast<double>(i) + 0.5);
+  const auto s = h.stats();
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_NEAR(s.mean(), 50.0, 0.01);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
+  EXPECT_EQ(h.histogram().overflow(), 0u);
+}
+
+TEST(Telemetry, SiteRollupMergesAcrossSites) {
+  TelemetryRegistry reg;
+  auto& r = reg.site_rollup("vdd", 3);
+  r.add(0, 1.0);
+  r.add(1, 0.9);
+  r.add(2, 0.8);
+  r.add(2, 0.8);
+  EXPECT_EQ(r.site(2).count(), 2u);
+  const auto merged = r.merged();
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_NEAR(merged.mean(), (1.0 + 0.9 + 0.8 + 0.8) / 4.0, 1e-12);
+  EXPECT_THROW(reg.site_rollup("vdd", 5), std::logic_error);
+}
+
+TEST(Telemetry, SnapshotTablesContainEveryInstrument) {
+  TelemetryRegistry reg;
+  reg.counter("produced").increment(42);
+  reg.gauge("depth").set(2.0);
+  reg.histogram("lat", 0.0, 10.0, 5).observe(3.0);
+  reg.site_rollup("vdd", 2).add(1, 0.95);
+
+  const auto counters = reg.counters_table();
+  ASSERT_EQ(counters.row_count(), 2u);  // counter + gauge
+  EXPECT_EQ(counters.rows()[0][0], "produced");
+  EXPECT_EQ(counters.rows()[0][1], "42");
+
+  const auto hists = reg.histograms_table();
+  ASSERT_EQ(hists.row_count(), 1u);
+  EXPECT_EQ(hists.rows()[0][0], "lat");
+  EXPECT_EQ(hists.rows()[0][1], "1");
+
+  const auto rollups = reg.site_rollups_table();
+  ASSERT_EQ(rollups.row_count(), 2u);  // one row per site
+  EXPECT_EQ(rollups.rows()[1][2], "1");  // site 1 has the sample
+
+  std::ostringstream text;
+  reg.write_text(text);
+  EXPECT_NE(text.str().find("produced"), std::string::npos);
+  EXPECT_NE(text.str().find("lat"), std::string::npos);
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_NE(csv.str().find("metric,value"), std::string::npos);
+  EXPECT_NE(csv.str().find("rollup,site,count"), std::string::npos);
+}
+
+TEST(Telemetry, ExportCsvWritesFile) {
+  TelemetryRegistry reg;
+  reg.counter("c").increment();
+  const std::string path = ::testing::TempDir() + "psnt_telemetry_test.csv";
+  ASSERT_TRUE(reg.export_csv(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("c,1"), std::string::npos);
+  EXPECT_FALSE(reg.export_csv("/nonexistent-dir/x/y.csv"));
+}
+
+}  // namespace
+}  // namespace psnt::grid

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "grid/thread_pool.h"
+
+namespace psnt::grid {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050);
+  EXPECT_EQ(pool.completed(), 100u);
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, WaitIdleAllowsFurtherSubmissions) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+  pool.submit([&] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedJobsUnderLoad) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool{2};
+    // Many more jobs than threads, each slow enough that a deep queue exists
+    // when shutdown begins: graceful shutdown must still run them all.
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&executed] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        executed.fetch_add(1);
+      });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPool, DestructorJoinsWithoutExplicitShutdown) {
+  std::atomic<int> executed{0};
+  {
+    ThreadPool pool{3};
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&executed] { executed.fetch_add(1); });
+    }
+    // No wait_idle/shutdown: the destructor must drain and join.
+  }
+  EXPECT_EQ(executed.load(), 32);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool{1};
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::logic_error);
+}
+
+TEST(ThreadPool, ExceptionIsCapturedNotFatal) {
+  ThreadPool pool{2};
+  std::atomic<int> survived{0};
+  pool.submit([] { throw std::runtime_error("site 7 exploded"); });
+  pool.submit([&] { survived.fetch_add(1); });
+  pool.wait_idle();
+  // The worker that caught the throw keeps serving jobs.
+  EXPECT_EQ(survived.load(), 1);
+  auto errors = pool.take_exceptions();
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_THROW(std::rethrow_exception(errors[0]), std::runtime_error);
+  // take_exceptions transfers ownership.
+  EXPECT_TRUE(pool.take_exceptions().empty());
+}
+
+TEST(ThreadPool, RethrowFirstExceptionPreservesOrderAndMessage) {
+  ThreadPool pool{1};  // single worker serialises the two throws
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  pool.wait_idle();
+  try {
+    pool.rethrow_first_exception();
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  EXPECT_THROW(pool.rethrow_first_exception(), std::logic_error);
+  // Nothing left: a third call is a no-op.
+  pool.rethrow_first_exception();
+}
+
+TEST(ThreadPool, ManyJobsStress) {
+  ThreadPool pool{4};
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kJobs = 5000;
+  for (int i = 0; i < kJobs; ++i) {
+    pool.submit([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kJobs));
+  EXPECT_EQ(pool.completed(), static_cast<std::size_t>(kJobs));
+}
+
+}  // namespace
+}  // namespace psnt::grid
