@@ -7,10 +7,12 @@
 // bit-identity check of every per-site thermometer code against the serial
 // scan::PsnScanChain::broadcast_measure reference — parallelism must never
 // change a single measured word.
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "bench/alloc_probe.h"
 #include "bench/bench_util.h"
 #include "calib/fit.h"
 #include "grid/scan_grid.h"
@@ -69,6 +71,8 @@ std::vector<std::vector<core::ThermoWord>> serial_reference(
   return words;
 }
 
+void report_simcore_structural();
+
 void report() {
   bench::section("grid scaling — 16-site scan grid, samples/sec vs threads");
   const auto fp = scan::Floorplan::grid(4000.0, 4000.0, kRows, kCols);
@@ -109,6 +113,103 @@ void report() {
               "machine serialise and report ~1.0x");
   bench::note("bit_identical_to_serial must read 'yes' in every row: the "
               "runtime guarantees thread count never changes a measurement");
+  report_simcore_structural();
+}
+
+// Simulation-core perf baseline: gate-level (structural) measure cost into
+// BENCH_simcore.json. 4 sites × 128 samples = 512 structural measures, the
+// same count as the pre-overhaul baseline run whose numbers the seed_* keys
+// record. Event and scheduler-allocation counts come from the grid's
+// "grid.sim_events" / "grid.sim_allocs" telemetry counters; the allocs_*
+// metric counts every operator-new in the process during the run.
+void report_simcore_structural() {
+  bench::section("simcore — structural fidelity → BENCH_simcore.json");
+  constexpr double kSeedNsPerMeasure = 160000.0;
+  constexpr double kSeedEventsPerMeasure = 1006.2;
+  constexpr double kSeedAllocsPerMeasure = 3015.7;
+
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 2, 2);
+  auto config = grid_config(1);
+  config.fidelity = grid::SiteFidelity::kStructural;
+  config.samples_per_site = 128;
+
+  // Shared CI machines are noisy; repeat the run and keep the least-disturbed
+  // (minimum) per-measure times. ns_per_measure is worker-side simulation
+  // time ("grid.structural_ns", excludes ring/aggregator, matching how the
+  // seed baseline was taken); wall_ns_per_measure is end-to-end for context.
+  constexpr int kRepeats = 3;
+  double ns_per_measure = 0.0;
+  double wall_ns_per_measure = 0.0;
+  double events_per_measure = 0.0;
+  double allocs_per_measure = 0.0;
+  double measures_per_sec = 0.0;
+  double events_per_sec = 0.0;
+  grid::RunResult result;
+  for (int r = 0; r < kRepeats; ++r) {
+    grid::ScanGrid g{fp, config, bench_rails(fp)};
+    const std::uint64_t allocs_before = bench::alloc_count();
+    auto run = g.run();
+    const auto allocs =
+        static_cast<double>(bench::alloc_count() - allocs_before);
+    const auto measures = static_cast<double>(run.produced);
+    const double events =
+        static_cast<double>(g.telemetry().counter("grid.sim_events").value());
+    const double sim_ns = static_cast<double>(
+        g.telemetry().counter("grid.structural_ns").value());
+    if (r == 0 || sim_ns / measures < ns_per_measure) {
+      ns_per_measure = sim_ns / measures;
+      measures_per_sec = measures / (sim_ns * 1e-9);
+      events_per_sec = events / (sim_ns * 1e-9);
+    }
+    if (r == 0 || run.wall_seconds * 1e9 / measures < wall_ns_per_measure) {
+      wall_ns_per_measure = run.wall_seconds * 1e9 / measures;
+    }
+    events_per_measure = events / measures;
+    allocs_per_measure = allocs / measures;
+    if (r == 0) result = std::move(run);
+  }
+
+  // Thread-invariance spot check: the same structural grid on 2 threads must
+  // produce bit-identical words.
+  auto config2 = config;
+  config2.threads = 2;
+  grid::ScanGrid g2{fp, config2, bench_rails(fp)};
+  const auto result2 = g2.run();
+  bool identical = true;
+  for (std::size_t i = 0; i < result.sites.size(); ++i) {
+    for (std::size_t k = 0; k < config.samples_per_site; ++k) {
+      identical &=
+          result.sites[i].samples[k].word == result2.sites[i].samples[k].word;
+    }
+  }
+
+  bench::JsonReport json;
+  json.set("grid_structural", "measures_per_sec", measures_per_sec);
+  json.set("grid_structural", "events_per_sec", events_per_sec);
+  json.set("grid_structural", "ns_per_measure", ns_per_measure);
+  json.set("grid_structural", "wall_ns_per_measure", wall_ns_per_measure);
+  json.set("grid_structural", "events_per_measure", events_per_measure);
+  json.set("grid_structural", "allocs_per_measure", allocs_per_measure);
+  json.set("grid_structural", "thread_invariant", identical ? 1.0 : 0.0);
+  json.set("grid_structural", "seed_ns_per_measure", kSeedNsPerMeasure);
+  json.set("grid_structural", "seed_events_per_measure",
+           kSeedEventsPerMeasure);
+  json.set("grid_structural", "seed_allocs_per_measure",
+           kSeedAllocsPerMeasure);
+  json.set("grid_structural", "speedup_vs_seed",
+           kSeedNsPerMeasure / ns_per_measure);
+  json.write();
+
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "%.0f ns/measure (wall %.0f), %.1f events/measure, %.2f "
+                "allocs/measure (seed: %.0f ns, %.1f ev, %.1f allocs) — "
+                "%.1fx, thread-invariant=%s",
+                ns_per_measure, wall_ns_per_measure, events_per_measure,
+                allocs_per_measure, kSeedNsPerMeasure, kSeedEventsPerMeasure,
+                kSeedAllocsPerMeasure, kSeedNsPerMeasure / ns_per_measure,
+                identical ? "yes" : "NO");
+  bench::note(line);
 }
 
 void BM_GridScan(benchmark::State& state) {

@@ -68,6 +68,13 @@ std::vector<ThermoWord> FullStructuralSystem::run_measures(
   PSNT_CHECK(count > 0, "need at least one measure");
   const double period = config_.control_period.value();
 
+  // A previous batch returns with sim time at t_ + T/4 (the read-out point)
+  // and the enable-drop event still pending at t_ + 0.4T. Run one idle cycle
+  // — enable falls before its rising edge, so the FSM parks in IDLE — to
+  // realign on a cycle boundary; enable can then be raised 100 ps in, with
+  // the same settle margin as a fresh start.
+  if (sim_.now().value() > t_) clock_one_cycle();
+
   sim_.drive(fsm_.enable(), Picoseconds{t_ + 100.0}, sim::Logic::L1);
   if (configure_first) {
     sim_.drive(fsm_.configure(), Picoseconds{t_ + 100.0}, sim::Logic::L1);

@@ -1,0 +1,98 @@
+#include "core/sense_kernel.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psnt::core {
+
+BatchedSenseKernel::BatchedSenseKernel(const SensorArray& array) {
+  const auto& cells = array.cells();
+  const auto& first = cells.front().inverter().params();
+  drive_k_pf_per_ps_ = first.drive_k_pf_per_ps;
+  alpha_ = first.alpha;
+  v_threshold_ = first.v_threshold.value();
+
+  uniform_ = true;
+  c_total_pf_.reserve(cells.size());
+  for (const SensorCell& cell : cells) {
+    const auto& p = cell.inverter().params();
+    // Exact comparison on purpose: the fast path is only bit-identical when
+    // every cell computes with the very same parameter doubles.
+    if (p.drive_k_pf_per_ps != drive_k_pf_per_ps_ || p.alpha != alpha_ ||
+        p.v_threshold.value() != v_threshold_) {
+      uniform_ = false;
+    }
+    c_total_pf_.push_back(cell.c_load().value() + p.c_intrinsic.value());
+  }
+}
+
+ThermoWord BatchedSenseKernel::measure(const SensorArray& array, Volt v_eff,
+                                       Picoseconds skew) const {
+  PSNT_CHECK(c_total_pf_.size() == array.bits(),
+             "kernel built for a different array");
+  const double overdrive = v_eff.value() - v_threshold_;
+  // Below-threshold supplies (delay saturates) and mismatched arrays take the
+  // reference path; both are off the steady-state hot loop.
+  if (!uniform_ || overdrive <= 1e-9) return array.measure(v_eff, skew);
+
+  // Hoisted once per measure instead of once per cell; the per-cell
+  // expression below then matches AlphaPowerDelayModel::delay operand-for-
+  // operand, so every DS arrival is the same IEEE double.
+  const double i_drive = drive_k_pf_per_ps_ * std::pow(overdrive, alpha_);
+  const auto& cells = array.cells();
+  ThermoWord word{0, cells.size()};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Picoseconds ds{c_total_pf_[i] * v_eff.value() / i_drive};
+    const auto ff = cells[i].flipflop().sample(ds, skew, /*new_value=*/true,
+                                               /*old_value=*/false);
+    word.set_bit(i, ff.captured_value);
+  }
+  return word;
+}
+
+const std::vector<Volt>& BatchedSenseKernel::sorted_thresholds(
+    const SensorArray& array, DelayCode code, Picoseconds skew) {
+  CodeCache& entry = codes_[code.value()];
+  if (!entry.valid || entry.skew.value() != skew.value()) {
+    entry.ladder = array.sorted_thresholds(skew);
+    entry.skew = skew;
+    entry.valid = true;
+    ++ladder_solves_;
+  }
+  return entry.ladder;
+}
+
+VoltageBin BatchedSenseKernel::decode(const SensorArray& array,
+                                      const ThermoWord& word, DelayCode code,
+                                      Picoseconds skew) {
+  PSNT_CHECK(word.width() == array.bits(),
+             "word width does not match the array");
+  const std::size_t k = word.bubble_corrected().count_ones();
+  const auto& thr = sorted_thresholds(array, code, skew);
+  VoltageBin bin;
+  if (k > 0) bin.lo = thr[k - 1];
+  if (k < thr.size()) bin.hi = thr[k];
+  return bin;
+}
+
+VoltageBin BatchedSenseKernel::decode_gnd(const SensorArray& array,
+                                          const ThermoWord& word,
+                                          DelayCode code, Picoseconds skew,
+                                          Volt v_nominal) {
+  const VoltageBin vdd_bin = decode(array, word, code, skew);
+  // Mirrors SensorArray::decode_gnd: gnd = v_nominal - v_eff flips the bin.
+  VoltageBin gnd;
+  if (vdd_bin.hi) gnd.lo = v_nominal - *vdd_bin.hi;
+  if (vdd_bin.lo) gnd.hi = v_nominal - *vdd_bin.lo;
+  return gnd;
+}
+
+DynamicRange BatchedSenseKernel::dynamic_range(const SensorArray& array,
+                                               DelayCode code,
+                                               Picoseconds skew) {
+  const auto& thr = sorted_thresholds(array, code, skew);
+  return DynamicRange{thr.front(), thr.back()};
+}
+
+}  // namespace psnt::core

@@ -1,0 +1,86 @@
+// BatchedSenseKernel: amortized SENSE evaluation for repeated measures.
+//
+// A behavioral measure spends almost all of its time in two places:
+//
+//  1. decode(): every call re-derives the converter ladder via
+//     sorted_thresholds(skew), which runs one Brent root-find per cell —
+//     7 solves per measure even though only 8 delay codes (8 skews) exist.
+//  2. measure(): every cell independently evaluates the alpha-power delay,
+//     repeating the same pow(overdrive, alpha) because all cells of a
+//     paper-style array share one inverter model.
+//
+// The kernel fixes both without changing a single output bit:
+//
+//  * Per-code ladder cache. sorted_thresholds(skew) is called once per
+//    distinct delay code and memoized; repeated codes become a table lookup.
+//    The cached vector is byte-for-byte the one SensorArray would have
+//    produced, so decode() results are bit-identical.
+//  * Shared-drive fast path. When every cell uses the same inverter
+//    parameters, i_drive = K * pow(V - Vt, alpha) is hoisted out of the cell
+//    loop and each DS arrival computed as c_total[i] * V / i_drive — the
+//    exact operand values and operation order of AlphaPowerDelayModel::delay,
+//    hence bit-identical IEEE results. Arrays with per-cell inverter
+//    variation (mismatch studies) silently fall back to SensorArray::measure.
+//
+// The kernel holds only value data (no pointer back to its array): the owning
+// NoiseThermometer is moved by value through make_paper_thermometer and
+// PsnScanChain::attach_site, and a self-referential cache would dangle. The
+// array is therefore passed into every call; callers must pass the array the
+// kernel was built from (checked by width in debug).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/measurement.h"
+#include "core/sensor_array.h"
+
+namespace psnt::core {
+
+class BatchedSenseKernel {
+ public:
+  BatchedSenseKernel() = default;
+  explicit BatchedSenseKernel(const SensorArray& array);
+
+  // Bit-identical equivalent of array.measure(v_eff, skew).
+  [[nodiscard]] ThermoWord measure(const SensorArray& array, Volt v_eff,
+                                   Picoseconds skew) const;
+
+  // Cached equivalent of array.sorted_thresholds(skew), keyed by delay code.
+  [[nodiscard]] const std::vector<Volt>& sorted_thresholds(
+      const SensorArray& array, DelayCode code, Picoseconds skew);
+
+  // Bit-identical equivalents of the SensorArray decode family, using the
+  // cached ladder for the given code.
+  [[nodiscard]] VoltageBin decode(const SensorArray& array,
+                                  const ThermoWord& word, DelayCode code,
+                                  Picoseconds skew);
+  [[nodiscard]] VoltageBin decode_gnd(const SensorArray& array,
+                                      const ThermoWord& word, DelayCode code,
+                                      Picoseconds skew, Volt v_nominal);
+  [[nodiscard]] DynamicRange dynamic_range(const SensorArray& array,
+                                           DelayCode code, Picoseconds skew);
+
+  // True when the shared-drive fast path applies (uniform inverter params).
+  [[nodiscard]] bool uniform() const { return uniform_; }
+  // Number of ladder root-solve passes performed so far (one per distinct
+  // code); exposed so tests can assert the cache actually amortizes.
+  [[nodiscard]] std::size_t ladder_solves() const { return ladder_solves_; }
+
+ private:
+  struct CodeCache {
+    bool valid = false;
+    Picoseconds skew{0.0};
+    std::vector<Volt> ladder;
+  };
+
+  bool uniform_ = false;
+  double drive_k_pf_per_ps_ = 0.0;
+  double alpha_ = 0.0;
+  double v_threshold_ = 0.0;
+  std::vector<double> c_total_pf_;  // per-cell c_load + c_intrinsic
+  std::array<CodeCache, DelayCode::kCount> codes_;
+  std::size_t ladder_solves_ = 0;
+};
+
+}  // namespace psnt::core

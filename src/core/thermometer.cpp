@@ -11,7 +11,9 @@ NoiseThermometer::NoiseThermometer(SensorArray high_sense,
       low_sense_(std::move(low_sense)),
       pg_(std::move(pg)),
       config_(config),
-      encoder_(config.bubble_policy) {
+      encoder_(config.bubble_policy),
+      high_kernel_(high_sense_),
+      low_kernel_(low_sense_) {
   PSNT_CHECK(config_.control_period.value() > 0.0,
              "control period must be positive");
   PSNT_CHECK(config_.v_nominal.value() > 0.0,
@@ -64,8 +66,8 @@ Measurement NoiseThermometer::measure_vdd(const analog::RailPair& rails,
   m.timestamp = launch;
   m.target = SenseTarget::kVdd;
   m.code = code;
-  m.word = high_sense_.measure(v_eff, skew);
-  m.bin = high_sense_.decode(m.word, skew);
+  m.word = high_kernel_.measure(high_sense_, v_eff, skew);
+  m.bin = high_kernel_.decode(high_sense_, m.word, code, skew);
   // Drain the done cycle so the FSM is parked in IDLE for the next call.
   fsm_.step(FsmInputs{});
   return m;
@@ -83,8 +85,9 @@ Measurement NoiseThermometer::measure_gnd(const analog::RailSource& gnd,
   m.timestamp = launch;
   m.target = SenseTarget::kGnd;
   m.code = code;
-  m.word = low_sense_.measure(v_eff, skew);
-  m.bin = low_sense_.decode_gnd(m.word, skew, config_.v_nominal);
+  m.word = low_kernel_.measure(low_sense_, v_eff, skew);
+  m.bin = low_kernel_.decode_gnd(low_sense_, m.word, code, skew,
+                                 config_.v_nominal);
   fsm_.step(FsmInputs{});
   return m;
 }
@@ -116,11 +119,12 @@ std::vector<Measurement> NoiseThermometer::iterate_gnd(
 }
 
 DynamicRange NoiseThermometer::vdd_range(DelayCode code) const {
-  return high_sense_.dynamic_range(pg_.skew(code));
+  return high_kernel_.dynamic_range(high_sense_, code, pg_.skew(code));
 }
 
 DynamicRange NoiseThermometer::gnd_range(DelayCode code) const {
-  const DynamicRange v = low_sense_.dynamic_range(pg_.skew(code));
+  const DynamicRange v =
+      low_kernel_.dynamic_range(low_sense_, code, pg_.skew(code));
   // gnd = v_nominal - v_eff: the measurable bounce window flips.
   return DynamicRange{config_.v_nominal - v.no_errors_above,
                       config_.v_nominal - v.all_errors_below};

@@ -25,6 +25,7 @@
 #include "core/encoder.h"
 #include "core/measurement.h"
 #include "core/pulse_gen.h"
+#include "core/sense_kernel.h"
 #include "core/sensor_array.h"
 
 namespace psnt::core {
@@ -92,6 +93,10 @@ class NoiseThermometer {
   ThermometerConfig config_;
   ControlFsm fsm_;
   Encoder encoder_;
+  // Value-only caches (safe under the by-value moves this type undergoes);
+  // mutable because range queries are const but warm the per-code ladders.
+  mutable BatchedSenseKernel high_kernel_;
+  mutable BatchedSenseKernel low_kernel_;
 };
 
 }  // namespace psnt::core

@@ -38,6 +38,9 @@ struct StructuralModel {
   StructuralModel(const analog::RailPair& rails, const ScanGridConfig& config)
       : array(calib::make_paper_array(calib::calibrated().model)),
         pg(calib::calibrated().model.pg_config()) {
+    // Long sample streams: drop per-edge debug logs (DFF history, inverter
+    // transition traces) so steady-state measures allocate nothing.
+    sim.set_instrumentation(false);
     core::FullStructuralSystem::Config sys_config;
     sys_config.control_period = config.thermometer.control_period;
     sys_config.code = config.code;
@@ -181,11 +184,23 @@ void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
 
   std::vector<core::ThermoWord> structural_words;
   if (config_.fidelity == SiteFidelity::kStructural) {
+    auto& sim_events = telemetry_.counter("grid.sim_events");
+    auto& sim_allocs = telemetry_.counter("grid.sim_allocs");
+    auto& sim_ns = telemetry_.counter("grid.structural_ns");
+    const sim::Scheduler& sched = site.structural->sim.scheduler();
+    const std::uint64_t events_before = sched.executed_events();
+    const std::uint64_t allocs_before = sched.allocation_count();
     const double t0 = now_seconds();
     structural_words =
         site.structural->system->run_measures(count, /*configure_first=*/first == 0);
+    const double batch_seconds = now_seconds() - t0;
     const double per_sample_us =
-        (now_seconds() - t0) * 1e6 / static_cast<double>(count);
+        batch_seconds * 1e6 / static_cast<double>(count);
+    sim_events.increment(sched.executed_events() - events_before);
+    sim_allocs.increment(sched.allocation_count() - allocs_before);
+    // Worker-side simulation time (excludes ring/aggregator); the perf bench
+    // derives its ns-per-structural-measure from this.
+    sim_ns.increment(static_cast<std::uint64_t>(batch_seconds * 1e9));
     for (std::size_t k = 0; k < count; ++k) {
       GridSample s;
       s.site_index = site.index;

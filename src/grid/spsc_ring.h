@@ -93,12 +93,25 @@ class SpscRing {
   }
 
   std::vector<T> slots_;
+  // Each side's index pair occupies a full private cache line: alignas puts
+  // it at a line start, the explicit pad pushes the next member (or an
+  // adjacent object, for the consumer side) off the line. Without the pads a
+  // neighbouring allocation can share the line and every push invalidates
+  // the consumer's cache (false sharing).
   // Producer-owned index plus its cached view of the consumer's index.
   alignas(kCacheLine) std::atomic<std::size_t> tail_{0};
   std::size_t cached_head_ = 0;
+  char producer_pad_[kCacheLine - sizeof(std::atomic<std::size_t>) -
+                     sizeof(std::size_t)]{};
   // Consumer-owned index plus its cached view of the producer's index.
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};
   std::size_t cached_tail_ = 0;
+  char consumer_pad_[kCacheLine - sizeof(std::atomic<std::size_t>) -
+                     sizeof(std::size_t)]{};
+
+  static_assert(sizeof(std::atomic<std::size_t>) + sizeof(std::size_t) <
+                    kCacheLine,
+                "index pair must leave room for padding");
 };
 
 }  // namespace psnt::grid

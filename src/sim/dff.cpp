@@ -10,7 +10,8 @@ DFlipFlop::DFlipFlop(Simulator& sim, std::string name, Net& d, Net& cp, Net& q,
       model_(std::move(model)),
       // "Long ago": a D input that never toggles has unbounded setup margin.
       d_last_change_(from_ps(-1e9)),
-      last_edge_(from_ps(-1e9)) {
+      last_edge_(from_ps(-1e9)),
+      history_enabled_(sim.instrumentation_enabled()) {
   d.on_change([this](const Net&, Logic, Logic, SimTime at) { on_data(at); });
   cp.on_change([this](const Net&, Logic old_v, Logic new_v, SimTime at) {
     on_clock(old_v, new_v, at);
@@ -38,9 +39,11 @@ void DFlipFlop::on_clock(Logic old_value, Logic new_value, SimTime at) {
   if (!is_known(d_now)) {
     q_.schedule_level(sim_.scheduler(),
                       from_ps(model_.params().t_clk_to_q), Logic::X);
-    EdgeRecord rec;
-    rec.edge_time = to_ps(at);
-    history_.push_back(rec);
+    if (history_enabled_) {
+      EdgeRecord rec;
+      rec.edge_time = to_ps(at);
+      history_.push_back(rec);
+    }
     return;
   }
 
@@ -56,10 +59,12 @@ void DFlipFlop::on_clock(Logic old_value, Logic new_value, SimTime at) {
   q_.schedule_level(sim_.scheduler(), from_ps(outcome.clk_to_q),
                     from_bool(outcome.captured_value));
 
-  EdgeRecord rec;
-  rec.edge_time = to_ps(at);
-  rec.outcome = outcome;
-  history_.push_back(rec);
+  if (history_enabled_) {
+    EdgeRecord rec;
+    rec.edge_time = to_ps(at);
+    rec.outcome = outcome;
+    history_.push_back(rec);
+  }
 }
 
 }  // namespace psnt::sim

@@ -43,6 +43,13 @@ class DFlipFlop : public Component {
 
   void clear_history() { history_.clear(); }
 
+  // When disabled, per-edge EdgeRecords are not retained (the violation /
+  // metastability counters keep counting). Batch runs over long sample
+  // streams disable this so steady state allocates nothing. Defaults to the
+  // owning Simulator's instrumentation setting at construction time.
+  void set_history_enabled(bool enabled) { history_enabled_ = enabled; }
+  [[nodiscard]] bool history_enabled() const { return history_enabled_; }
+
  private:
   void on_clock(Logic old_value, Logic new_value, SimTime at);
   void on_data(SimTime at);
@@ -53,6 +60,7 @@ class DFlipFlop : public Component {
   SimTime d_last_change_;
   SimTime last_edge_;
   bool has_edge_ = false;
+  bool history_enabled_ = true;
   std::vector<EdgeRecord> history_;
   std::size_t setup_violations_ = 0;
   std::size_t metastable_samples_ = 0;

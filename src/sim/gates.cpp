@@ -13,6 +13,7 @@ CombGate::CombGate(Simulator& sim, std::string name, std::vector<Net*> inputs,
       eval_(std::move(eval)) {
   PSNT_CHECK(!inputs_.empty(), "gate needs at least one input");
   PSNT_CHECK(delay_ >= 0, "gate delay must be non-negative");
+  scratch_.resize(inputs_.size());
   for (Net* in : inputs_) {
     PSNT_CHECK(in != nullptr, "null input net");
     in->on_change([this](const Net&, Logic, Logic, SimTime) {
@@ -22,10 +23,10 @@ CombGate::CombGate(Simulator& sim, std::string name, std::vector<Net*> inputs,
 }
 
 void CombGate::on_input_change() {
-  std::vector<Logic> values;
-  values.reserve(inputs_.size());
-  for (const Net* in : inputs_) values.push_back(in->value());
-  output_.schedule_level(sim_.scheduler(), delay_, eval_(values));
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    scratch_[i] = inputs_[i]->value();
+  }
+  output_.schedule_level(sim_.scheduler(), delay_, eval_(scratch_));
 }
 
 void CombGate::settle_initial() { on_input_change(); }

@@ -6,17 +6,20 @@
 // every drive strength.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "sim/small_fn.h"
 
 namespace psnt::sim {
 
 // Generic N-input gate with a user-provided evaluation function.
 class CombGate : public Component {
  public:
-  using EvalFn = std::function<Logic(const std::vector<Logic>&)>;
+  // Small-buffer-optimized: the stock gates use captureless lambdas and the
+  // netlist builders capture at most a pointer, so evaluation — which runs on
+  // every input event — never chases a std::function heap allocation.
+  using EvalFn = SmallFn<Logic(const std::vector<Logic>&), 24>;
 
   CombGate(Simulator& sim, std::string name, std::vector<Net*> inputs,
            Net& output, Picoseconds delay, EvalFn eval);
@@ -34,6 +37,9 @@ class CombGate : public Component {
   Net& output_;
   SimTime delay_;
   EvalFn eval_;
+  // Reused input-value buffer: re-evaluation happens on every input event,
+  // so it must not allocate.
+  std::vector<Logic> scratch_;
 };
 
 class InvGate : public CombGate {

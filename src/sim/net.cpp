@@ -39,10 +39,12 @@ void Net::schedule_level(Scheduler& scheduler, SimTime delay, Logic v) {
   pending_value_ = v;
   pending_time_ = at;
   const std::uint64_t my_generation = generation_;
-  scheduler.schedule_at(at, [this, my_generation, v, &scheduler] {
+  // `at` is the event's own execution time, so capture it instead of the
+  // scheduler: the closure stays within the scheduler's inline buffer.
+  scheduler.schedule_at(at, [this, my_generation, at, v] {
     if (generation_ != my_generation) return;  // superseded: inertial cancel
     pending_active_ = false;
-    apply(v, scheduler.now());
+    apply(v, at);
   });
 }
 

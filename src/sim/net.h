@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/logic.h"
 #include "sim/sim_time.h"
+#include "sim/small_fn.h"
 
 namespace psnt::sim {
 
@@ -22,8 +22,10 @@ class Scheduler;
 
 class Net {
  public:
-  // Listener arguments: net, old value, new value, time of change.
-  using Listener = std::function<void(const Net&, Logic, Logic, SimTime)>;
+  // Listener arguments: net, old value, new value, time of change. Stored
+  // small-buffer-optimized: every fanout subscriber in the repo captures a
+  // single `this` pointer, so notification never chases a heap allocation.
+  using Listener = SmallFn<void(const Net&, Logic, Logic, SimTime), 24>;
 
   Net(std::string name, std::uint32_t id) : name_(std::move(name)), id_(id) {}
 

@@ -71,10 +71,20 @@ class Simulator {
   void run_until(Picoseconds t) { scheduler_.run_until(from_ps(t)); }
   void run_all() { scheduler_.run_all(); }
 
+  // Instrumentation gate. Components that keep per-event debug logs (DFF edge
+  // history, sense-inverter transition traces) consult this at construction
+  // time. Batch measurement runs turn it off before building the netlist so
+  // the hot path does not grow unbounded vectors.
+  [[nodiscard]] bool instrumentation_enabled() const {
+    return instrumentation_enabled_;
+  }
+  void set_instrumentation(bool enabled) { instrumentation_enabled_ = enabled; }
+
  private:
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Net>> nets_;
   std::vector<std::unique_ptr<Component>> components_;
+  bool instrumentation_enabled_ = true;
 };
 
 }  // namespace psnt::sim

@@ -1,0 +1,125 @@
+// Small-buffer-optimized move-only callable.
+//
+// The event hot path schedules millions of short-lived closures; std::function
+// heap-allocates any capture larger than its (implementation-defined, usually
+// 16-byte) inline buffer, which makes every gate transition a malloc/free
+// pair. SmallFn stores captures up to `Bytes` inline — sized so every closure
+// the simulator itself creates (net transitions, stimulus drives, gate
+// re-evaluations) fits — and falls back to the heap only for oversized
+// user-supplied callables. `is_heap()` reports which path a given instance
+// took so the scheduler can count fallbacks.
+//
+// Deliberately minimal: move-only, no target_type/RTTI, no allocator hooks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace psnt::sim {
+
+template <typename Signature, std::size_t Bytes = 48>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t Bytes>
+class SmallFn<R(Args...), Bytes> {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= Bytes && alignof(Fn) <= alignof(Storage)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  // Const-callable like std::function: the target is logically part of the
+  // callable's value, not the wrapper's state.
+  R operator()(Args... args) const {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+  // True when the stored callable spilled to the heap (too big for the
+  // inline buffer). False for empty or inline instances.
+  [[nodiscard]] bool is_heap() const { return ops_ != nullptr && ops_->heap; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  static constexpr std::size_t inline_bytes() { return Bytes; }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+    bool heap;
+  };
+  using Storage = std::max_align_t;
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<Fn*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      false};
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* p, Args&&... args) -> R {
+        return (**static_cast<Fn**>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); },
+      true};
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(Storage) mutable unsigned char buf_[Bytes];
+};
+
+}  // namespace psnt::sim

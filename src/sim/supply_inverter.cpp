@@ -10,7 +10,8 @@ SupplyInverter::SupplyInverter(Simulator& sim, std::string name, Net& a,
       y_(y),
       model_(std::move(model)),
       rails_(rails),
-      c_load_(c_load) {
+      c_load_(c_load),
+      record_transitions_(sim.instrumentation_enabled()) {
   PSNT_CHECK(rails_.vdd != nullptr, "sense inverter needs a vdd rail");
   PSNT_CHECK(c_load_.value() >= 0.0, "negative DS load");
   a.on_change([this](const Net&, Logic, Logic, SimTime at) { on_input(at); });
@@ -22,12 +23,14 @@ void SupplyInverter::on_input(SimTime at) {
   const Logic out = logic_not(a_.value());
   y_.schedule_level(sim_.scheduler(), from_ps(delay), out);
 
-  Transition tr;
-  tr.input_time = to_ps(at);
-  tr.delay = delay;
-  tr.supply = v;
-  tr.output_value = out;
-  transitions_.push_back(tr);
+  if (record_transitions_) {
+    Transition tr;
+    tr.input_time = to_ps(at);
+    tr.delay = delay;
+    tr.supply = v;
+    tr.output_value = out;
+    transitions_.push_back(tr);
+  }
 }
 
 }  // namespace psnt::sim

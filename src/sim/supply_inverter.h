@@ -37,6 +37,14 @@ class SupplyInverter : public Component {
   }
   void clear_transitions() { transitions_.clear(); }
 
+  // When disabled, the per-transition log is not retained; batch runs use
+  // this to keep the SENSE hot path allocation-free. Defaults to the owning
+  // Simulator's instrumentation setting at construction time.
+  void set_transitions_enabled(bool enabled) { record_transitions_ = enabled; }
+  [[nodiscard]] bool transitions_enabled() const {
+    return record_transitions_;
+  }
+
  private:
   void on_input(SimTime at);
 
@@ -46,6 +54,7 @@ class SupplyInverter : public Component {
   analog::RailPair rails_;
   Picofarad c_load_;
   std::vector<Transition> transitions_;
+  bool record_transitions_ = true;
 };
 
 }  // namespace psnt::sim

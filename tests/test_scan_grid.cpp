@@ -200,6 +200,30 @@ TEST(ScanGrid, StructuralFidelityAgreesWithBehavioralOnQuietRails) {
   }
 }
 
+TEST(ScanGrid, StructuralSitesSurviveMultipleBatches) {
+  // samples_per_site far beyond the dispatch batch (8) forces repeated
+  // run_measures calls on the same live site simulation — the continuation
+  // path that used to throw "cannot schedule an event in the past" because
+  // the first run left an enable-drop event pending mid-cycle. Also checks
+  // the scheduler telemetry the grid aggregates for structural sites.
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto config = base_config(1);
+  config.fidelity = SiteFidelity::kStructural;
+  config.samples_per_site = 20;
+  ScanGrid grid{fp, config, ScanGrid::constant_rails(1.0_V)};
+  const auto result = grid.run();
+  EXPECT_EQ(result.produced, 2u * 20u);
+  for (const auto& site : result.sites) {
+    ASSERT_EQ(site.samples.size(), 20u);
+    for (std::size_t k = 1; k < 20; ++k) {
+      EXPECT_EQ(site.samples[k].word, site.samples[0].word)
+          << "constant rail must give a constant word (sample " << k << ")";
+    }
+  }
+  EXPECT_GT(grid.telemetry().counter("grid.sim_events").value(), 0u);
+  EXPECT_GT(grid.telemetry().counter("grid.structural_ns").value(), 0u);
+}
+
 TEST(ScanGrid, RejectsInvalidConfigurations) {
   const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
   auto config = base_config(1);

@@ -1,0 +1,134 @@
+#include "core/sense_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/sensor_array.h"
+
+namespace psnt::core {
+namespace {
+
+using namespace psnt::literals;
+
+SensorArray make_uniform_array() {
+  return SensorArray::linear(analog::AlphaPowerDelayModel{},
+                             analog::FlipFlopTimingModel{}, 1.6_pF, 0.12_pF,
+                             7);
+}
+
+// Cells with per-cell inverter variation (a mismatch study): the kernel must
+// detect non-uniform drive and fall back to the reference path.
+SensorArray make_mismatched_array() {
+  std::vector<SensorCell> cells;
+  for (std::size_t i = 0; i < 7; ++i) {
+    analog::AlphaPowerParams p;
+    p.drive_k_pf_per_ps = 0.030 + 0.001 * static_cast<double>(i);
+    cells.emplace_back(analog::AlphaPowerDelayModel{p},
+                       analog::FlipFlopTimingModel{},
+                       Picofarad{1.6 + 0.12 * static_cast<double>(i)});
+  }
+  return SensorArray{std::move(cells)};
+}
+
+Picoseconds skew_for(DelayCode code) {
+  // An arbitrary monotone code→skew map spanning the useful range; the
+  // kernel must match the array for any skew, not just pulse-gen outputs.
+  return Picoseconds{120.0 + 12.0 * static_cast<double>(code.value())};
+}
+
+void expect_same_bin(const VoltageBin& a, const VoltageBin& b) {
+  ASSERT_EQ(a.lo.has_value(), b.lo.has_value());
+  ASSERT_EQ(a.hi.has_value(), b.hi.has_value());
+  if (a.lo) {
+    EXPECT_EQ(a.lo->value(), b.lo->value());
+  }
+  if (a.hi) {
+    EXPECT_EQ(a.hi->value(), b.hi->value());
+  }
+}
+
+TEST(SenseKernel, MeasureBitIdenticalAcrossCodesAndVoltages) {
+  const auto arr = make_uniform_array();
+  BatchedSenseKernel kernel{arr};
+  EXPECT_TRUE(kernel.uniform());
+  for (std::uint8_t c = 0; c < DelayCode::kCount; ++c) {
+    const auto skew = skew_for(DelayCode{c});
+    for (double v = 0.30; v <= 1.60; v += 0.005) {
+      const ThermoWord ref = arr.measure(Volt{v}, skew);
+      const ThermoWord fast = kernel.measure(arr, Volt{v}, skew);
+      ASSERT_EQ(fast, ref) << "code=" << int(c) << " V=" << v;
+    }
+  }
+}
+
+TEST(SenseKernel, MeasureMatchesAtAndBelowInverterThreshold) {
+  // At/below Vt the fast path's overdrive guard must hand off to the
+  // reference implementation (which returns the all-errors word).
+  const auto arr = make_uniform_array();
+  const BatchedSenseKernel kernel{arr};
+  const auto skew = skew_for(DelayCode{3});
+  for (const double v : {0.0, 0.1, 0.32, 0.32 + 5e-10}) {
+    EXPECT_EQ(kernel.measure(arr, Volt{v}, skew), arr.measure(Volt{v}, skew))
+        << "V=" << v;
+  }
+}
+
+TEST(SenseKernel, DecodeFamilyMatchesArray) {
+  const auto arr = make_uniform_array();
+  BatchedSenseKernel kernel{arr};
+  for (std::uint8_t c = 0; c < DelayCode::kCount; ++c) {
+    const DelayCode code{c};
+    const auto skew = skew_for(code);
+    const auto range_ref = arr.dynamic_range(skew);
+    const auto range = kernel.dynamic_range(arr, code, skew);
+    EXPECT_EQ(range.all_errors_below.value(),
+              range_ref.all_errors_below.value());
+    EXPECT_EQ(range.no_errors_above.value(),
+              range_ref.no_errors_above.value());
+    for (double v = 0.70; v <= 1.40; v += 0.01) {
+      const ThermoWord w = arr.measure(Volt{v}, skew);
+      expect_same_bin(kernel.decode(arr, w, code, skew), arr.decode(w, skew));
+      expect_same_bin(kernel.decode_gnd(arr, w, code, skew, Volt{1.0}),
+                      arr.decode_gnd(w, skew, Volt{1.0}));
+    }
+  }
+}
+
+TEST(SenseKernel, LadderCacheSolvesOncePerCode) {
+  const auto arr = make_uniform_array();
+  BatchedSenseKernel kernel{arr};
+  EXPECT_EQ(kernel.ladder_solves(), 0u);
+  const DelayCode code{2};
+  const auto skew = skew_for(code);
+  const auto& first = kernel.sorted_thresholds(arr, code, skew);
+  EXPECT_EQ(first, arr.sorted_thresholds(skew));
+  EXPECT_EQ(kernel.ladder_solves(), 1u);
+  for (int i = 0; i < 50; ++i) {
+    (void)kernel.decode(arr, arr.measure(Volt{1.0}, skew), code, skew);
+  }
+  EXPECT_EQ(kernel.ladder_solves(), 1u);  // cache hit every time
+  (void)kernel.sorted_thresholds(arr, DelayCode{5}, skew_for(DelayCode{5}));
+  EXPECT_EQ(kernel.ladder_solves(), 2u);  // distinct code → one more solve
+  // Same code at a new skew (range retuning) invalidates that entry only.
+  (void)kernel.sorted_thresholds(arr, code, Picoseconds{200.0});
+  EXPECT_EQ(kernel.ladder_solves(), 3u);
+}
+
+TEST(SenseKernel, MismatchedArrayFallsBackBitIdentically) {
+  const auto arr = make_mismatched_array();
+  BatchedSenseKernel kernel{arr};
+  EXPECT_FALSE(kernel.uniform());
+  for (std::uint8_t c = 0; c < DelayCode::kCount; ++c) {
+    const auto skew = skew_for(DelayCode{c});
+    for (double v = 0.30; v <= 1.60; v += 0.01) {
+      ASSERT_EQ(kernel.measure(arr, Volt{v}, skew),
+                arr.measure(Volt{v}, skew))
+          << "code=" << int(c) << " V=" << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psnt::core
