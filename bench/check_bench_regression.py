@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the simulation-core benchmarks.
+
+Compares a freshly generated BENCH_simcore.json against the committed
+baseline and fails (exit 1) when a gated metric regressed by more than the
+threshold. Gated metrics are the lower-is-better per-measure costs:
+
+  * ns_per_measure      — simulated-thermometer measure latency
+  * allocs_per_measure  — heap allocations per measure (alloc_probe.h)
+
+Keys prefixed ``seed_`` are the frozen pre-optimisation reference points the
+benches embed for context; they never change at runtime and are not gated.
+Higher-is-better throughput keys (measures_per_sec, speedup_vs_seed, ...)
+are derived from the gated ones, so gating them too would double-count.
+
+Usage:
+  python3 bench/check_bench_regression.py \
+      --baseline BENCH_simcore.json --fresh build/BENCH_simcore.json \
+      [--threshold 0.25] [--min-allocs 1.0]
+
+``--min-allocs``: allocs_per_measure baselines below this are compared by
+absolute delta instead of ratio (a 0.015 → 0.04 move is noise, not a 2.5x
+regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GATED_METRICS = ("ns_per_measure", "allocs_per_measure")
+SKIP_PREFIX = "seed_"
+
+
+def load(path: Path) -> dict:
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        sys.exit(f"error: {path} not found")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path} must be a JSON object of bench sections")
+    return doc
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="committed BENCH_simcore.json")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="freshly generated BENCH_simcore.json")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="max allowed relative regression (default 0.25)")
+    parser.add_argument("--min-allocs", type=float, default=1.0,
+                        help="allocs baselines below this use absolute delta")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    fresh = load(args.fresh)
+
+    rows: list[tuple[str, float, float, str, str]] = []
+    failures: list[str] = []
+    compared = 0
+
+    for section, base_metrics in sorted(baseline.items()):
+        if not isinstance(base_metrics, dict):
+            continue
+        fresh_metrics = fresh.get(section)
+        if not isinstance(fresh_metrics, dict):
+            failures.append(f"{section}: missing from fresh results")
+            continue
+        for metric in GATED_METRICS:
+            if metric.startswith(SKIP_PREFIX):
+                continue
+            if metric not in base_metrics:
+                continue
+            base = float(base_metrics[metric])
+            if metric not in fresh_metrics:
+                failures.append(f"{section}.{metric}: missing from fresh run")
+                continue
+            new = float(fresh_metrics[metric])
+            compared += 1
+
+            if metric == "allocs_per_measure" and base < args.min_allocs:
+                # Near-zero alloc baselines: ratio is meaningless, gate on
+                # the absolute climb instead.
+                regressed = new > base + args.min_allocs
+                change = f"{new - base:+.3f} abs"
+            else:
+                ratio = (new - base) / base if base > 0 else 0.0
+                regressed = ratio > args.threshold
+                change = f"{ratio:+.1%}"
+
+            verdict = "FAIL" if regressed else "ok"
+            rows.append((f"{section}.{metric}", base, new, change, verdict))
+            if regressed:
+                failures.append(
+                    f"{section}.{metric}: {base:g} -> {new:g} ({change}) "
+                    f"exceeds the {args.threshold:.0%} gate")
+
+    name_w = max((len(r[0]) for r in rows), default=20)
+    print(f"{'metric':<{name_w}}  {'baseline':>12}  {'fresh':>12}  "
+          f"{'change':>10}  verdict")
+    for name, base, new, change, verdict in rows:
+        print(f"{name:<{name_w}}  {base:>12.4f}  {new:>12.4f}  "
+              f"{change:>10}  {verdict}")
+
+    if compared == 0:
+        print("error: no gated metrics found in the baseline", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} regression(s)):",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {compared} metrics within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

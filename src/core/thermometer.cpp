@@ -67,6 +67,7 @@ Measurement NoiseThermometer::measure_vdd(const analog::RailPair& rails,
   m.target = SenseTarget::kVdd;
   m.code = code;
   m.word = high_kernel_.measure(high_sense_, v_eff, skew);
+  if (word_hook_) word_hook_(m.word);
   m.bin = high_kernel_.decode(high_sense_, m.word, code, skew);
   // Drain the done cycle so the FSM is parked in IDLE for the next call.
   fsm_.step(FsmInputs{});
@@ -86,6 +87,7 @@ Measurement NoiseThermometer::measure_gnd(const analog::RailSource& gnd,
   m.target = SenseTarget::kGnd;
   m.code = code;
   m.word = low_kernel_.measure(low_sense_, v_eff, skew);
+  if (word_hook_) word_hook_(m.word);
   m.bin = low_kernel_.decode_gnd(low_sense_, m.word, code, skew,
                                  config_.v_nominal);
   fsm_.step(FsmInputs{});

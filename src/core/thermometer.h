@@ -18,6 +18,7 @@
 // architecture described in the paper.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "analog/rail.h"
@@ -82,6 +83,22 @@ class NoiseThermometer {
     return encoder_.encode(word);
   }
 
+  // Fault-injection hook: runs on the raw sensed word after SENSE capture
+  // and before decode, exactly where a stuck DS node or a metastable FF
+  // corrupts the physical datapath (the decoded bin then reflects the
+  // corrupted word, as silicon would report it). Unset by default; the
+  // measure path pays one branch when unset and is bit-identical.
+  using WordHook = std::function<void(ThermoWord&)>;
+  void set_word_hook(WordHook hook) { word_hook_ = std::move(hook); }
+
+  // Decodes an externally supplied word against the HIGH-SENSE ladder for
+  // `code` — used by resilience voting when the published (majority) word
+  // matches none of the individual vote words.
+  [[nodiscard]] VoltageBin decode_vdd_word(const ThermoWord& word,
+                                           DelayCode code) const {
+    return high_kernel_.decode(high_sense_, word, code, pg_.skew(code));
+  }
+
  private:
   // Steps the FSM from IDLE through one transaction; returns the absolute
   // time of the S_SNS edge.
@@ -93,6 +110,7 @@ class NoiseThermometer {
   ThermometerConfig config_;
   ControlFsm fsm_;
   Encoder encoder_;
+  WordHook word_hook_;
   // Value-only caches (safe under the by-value moves this type undergoes);
   // mutable because range queries are const but warm the per-code ladders.
   mutable BatchedSenseKernel high_kernel_;

@@ -1,0 +1,36 @@
+#include "grid/resilience.h"
+
+#include "util/error.h"
+
+namespace psnt::grid {
+
+std::uint32_t bounded_backoff_us(const ResiliencePolicy& policy,
+                                 std::size_t attempt) {
+  if (policy.backoff_base_us == 0 || attempt == 0) return 0;
+  const std::size_t shift = attempt - 1;
+  // Saturate well before the shift can overflow.
+  if (shift >= 32) return policy.backoff_cap_us;
+  const std::uint64_t us =
+      static_cast<std::uint64_t>(policy.backoff_base_us) << shift;
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(us, policy.backoff_cap_us));
+}
+
+core::ThermoWord majority_word(std::span<const core::ThermoWord> votes) {
+  PSNT_CHECK(!votes.empty(), "majority_word needs at least one vote");
+  PSNT_CHECK(votes.size() % 2 == 1, "majority_word needs an odd vote count");
+  const std::size_t width = votes.front().width();
+  for (const auto& w : votes) {
+    PSNT_CHECK(w.width() == width, "majority_word votes must share a width");
+  }
+  if (votes.size() == 1) return votes.front();
+  core::ThermoWord out(0, width);
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    std::size_t ones = 0;
+    for (const auto& w : votes) ones += w.bit(bit) ? 1 : 0;
+    out.set_bit(bit, ones * 2 > votes.size());
+  }
+  return out;
+}
+
+}  // namespace psnt::grid

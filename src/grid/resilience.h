@@ -1,0 +1,62 @@
+// Grid-level graceful degradation: what the scan grid does when a site's
+// measure fails or its word cannot be trusted.
+//
+// Three mechanisms, mirroring a serving stack's retry/hedge/evict ladder:
+//
+//   Retry    — a failed measure attempt (dead/hung site) is retried up to
+//              `max_retries` times with bounded exponential backoff.
+//              Transient faults (metastability, hangs) re-roll per attempt,
+//              so retry genuinely recovers them.
+//   Vote     — with `votes` = 2r+1 > 1, every sample is measured `votes`
+//              times and the published word is the bitwise majority. A
+//              single metastable flip is outvoted 2:1; persistent stuck-at
+//              faults are not (every vote sees them), which is exactly the
+//              behavior a BIST policy wants: transient noise is filtered,
+//              hard faults stay visible for diagnosis/quarantine.
+//   Quarantine — `quarantine_after` consecutive lost samples evicts the
+//              site: its remaining samples are recorded as lost and the
+//              worker stops burning time on it. Dead sites converge here.
+//
+// Everything is deterministic: retries/votes key their fault re-rolls off
+// the (site, sample, attempt) coordinate, so traces and words are
+// bit-identical at any thread count. With no injector attached and the
+// default policy, the measure path is byte-for-byte the pre-resilience one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/thermo_code.h"
+
+namespace psnt::grid {
+
+struct ResiliencePolicy {
+  // Extra attempts per failed measure (0 = fail fast).
+  std::size_t max_retries = 0;
+  // Measures per published sample; must be odd. 1 disables voting.
+  std::size_t votes = 1;
+  // Consecutive lost samples before a site is quarantined; 0 = never.
+  std::size_t quarantine_after = 0;
+  // Backoff before retry a (1-based): min(base << (a-1), cap) microseconds.
+  // base 0 disables sleeping (the accounting still happens in telemetry).
+  std::uint32_t backoff_base_us = 0;
+  std::uint32_t backoff_cap_us = 1000;
+
+  [[nodiscard]] bool enabled() const {
+    return max_retries > 0 || votes > 1 || quarantine_after > 0;
+  }
+};
+
+// Backoff before the `attempt`-th retry (attempt >= 1), in microseconds:
+// bounded exponential, saturating at backoff_cap_us.
+[[nodiscard]] std::uint32_t bounded_backoff_us(const ResiliencePolicy& policy,
+                                               std::size_t attempt);
+
+// Bitwise majority across an odd number of equal-width words: bit i of the
+// result is set iff more than half the votes set it. With all votes equal
+// (the fault-free case) this is the identity.
+[[nodiscard]] core::ThermoWord majority_word(
+    std::span<const core::ThermoWord> votes);
+
+}  // namespace psnt::grid

@@ -1,6 +1,7 @@
 #include "grid/scan_grid.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <thread>
@@ -65,8 +66,28 @@ struct ScanGrid::Site {
   core::DelayCode code;
   std::uint64_t code_steps = 0;
 
+  // --- fault / resilience state (idle unless the chaos path runs) -------
+  // Droop-spike hook: wraps `vdd` when an injector is attached, so the off
+  // path never pays the indirection.
+  std::unique_ptr<fault::OffsetRail> vdd_overlay;
+  // Word-corruption context read by the thermometer / structural word hook
+  // during the measure it was set for.
+  fault::MeasureFaults active_faults;
+  bool structural_configured = false;
+  bool quarantined = false;
+  std::uint32_t quarantine_sample = 0;
+  std::uint32_t fail_streak = 0;  // consecutive lost samples
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t vote_overrides = 0;
+  std::vector<fault::FaultEvent> trace;
+
   [[nodiscard]] analog::RailPair rails() const {
-    return analog::RailPair{vdd.get(), gnd.get()};
+    return analog::RailPair{
+        vdd_overlay ? static_cast<const analog::RailSource*>(vdd_overlay.get())
+                    : vdd.get(),
+        gnd.get()};
   }
 };
 
@@ -83,17 +104,24 @@ namespace {
 
 // Producer-side backpressure: block (lossless, stalls counted) or drop the
 // newest sample (lossy, drops counted). `produced` counts every attempt.
+// `forced_full_pushes` is the ring-overflow-storm hook: that many pushes are
+// treated as having hit a full ring before the real push happens — stalls
+// under kBlockProducer (lossless), a drop under kDropNewest.
 void push_with_backpressure(BackpressurePolicy policy,
                             SpscRing<GridSample>& ring, GridSample& sample,
-                            Counter& stalls, Counter& drops,
-                            Counter& produced) {
+                            Counter& stalls, Counter& drops, Counter& produced,
+                            std::uint32_t forced_full_pushes = 0) {
   produced.increment();
   if (policy == BackpressurePolicy::kBlockProducer) {
+    for (std::uint32_t i = 0; i < forced_full_pushes; ++i) {
+      stalls.increment();
+      std::this_thread::yield();
+    }
     while (!ring.try_push(std::move(sample))) {
       stalls.increment();
       std::this_thread::yield();
     }
-  } else if (!ring.try_push(std::move(sample))) {
+  } else if (forced_full_pushes > 0 || !ring.try_push(std::move(sample))) {
     drops.increment();
   }
 }
@@ -110,8 +138,15 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
   PSNT_CHECK(config_.fidelity == SiteFidelity::kBehavioral ||
                  config_.code_policy == CodePolicy::kFixed,
              "auto-ranging requires the behavioral fidelity");
+  PSNT_CHECK(config_.resilience.votes >= 1 &&
+                 config_.resilience.votes % 2 == 1,
+             "resilience votes must be odd (majority needs a tiebreak)");
+  PSNT_CHECK(config_.fidelity == SiteFidelity::kBehavioral ||
+                 config_.resilience.votes == 1,
+             "majority voting requires the behavioral fidelity");
   if (config_.threads == 0) config_.threads = 1;
   if (config_.batch == 0) config_.batch = 1;
+  chaos_ = config_.injector != nullptr || config_.resilience.enabled();
 
   // Force the (thread-safe, but serial) calibration fit before any worker
   // can race to be first through the magic static.
@@ -131,6 +166,17 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
     if (config_.fidelity == SiteFidelity::kBehavioral) {
       site->thermometer = std::make_unique<core::NoiseThermometer>(
           calib::make_paper_thermometer(model, config_.thermometer));
+    }
+    if (config_.injector) {
+      // Narrow hook points, installed only when faults can strike: the rail
+      // overlay for droop spikes and the word hook for DS/FF corruption.
+      // Site pointers are stable (unique_ptr), so the hook's capture is too.
+      site->vdd_overlay = std::make_unique<fault::OffsetRail>(site->vdd.get());
+      if (site->thermometer) {
+        Site* raw = site.get();
+        site->thermometer->set_word_hook(
+            [raw](core::ThermoWord& word) { raw->active_faults.apply_word(word); });
+      }
     }
     if (config_.code_policy == CodePolicy::kAutoRange) {
       core::AutoRangeConfig ar;
@@ -234,6 +280,269 @@ void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
   }
 }
 
+// Telemetry instruments of the chaos path, resolved once per batch.
+struct ScanGrid::ChaosCounters {
+  explicit ChaosCounters(TelemetryRegistry& t)
+      : injected(t.counter("grid.fault.injected")),
+        retries(t.counter("grid.retries")),
+        recovered(t.counter("grid.samples_recovered")),
+        lost(t.counter("grid.samples_lost")),
+        quarantined(t.counter("grid.sites_quarantined")),
+        vote_overrides(t.counter("grid.vote_overrides")),
+        timeouts(t.counter("grid.measure_timeouts")),
+        backoff_us(t.counter("grid.backoff_us")) {
+    for (std::size_t k = 0; k < fault::kFaultKindCount; ++k) {
+      by_kind[k] = &t.counter(std::string("grid.fault.") +
+                              fault::to_string(static_cast<fault::FaultKind>(k)));
+    }
+  }
+
+  Counter& injected;
+  Counter& retries;
+  Counter& recovered;
+  Counter& lost;
+  Counter& quarantined;
+  Counter& vote_overrides;
+  Counter& timeouts;
+  Counter& backoff_us;
+  std::array<Counter*, fault::kFaultKindCount> by_kind{};
+};
+
+void ScanGrid::record_fault_events(Site& site,
+                                   const fault::MeasureFaults& faults,
+                                   std::size_t sample, std::uint32_t attempt,
+                                   ChaosCounters& counters) {
+  if (!faults.any()) return;
+  const std::size_t before = site.trace.size();
+  fault::FaultInjector::append_events(faults, site.id,
+                                      static_cast<std::uint32_t>(sample),
+                                      attempt, site.trace);
+  const std::size_t added = site.trace.size() - before;
+  counters.injected.increment(added);
+  for (std::size_t i = before; i < site.trace.size(); ++i) {
+    counters.by_kind[static_cast<std::size_t>(site.trace[i].kind)]
+        ->increment();
+  }
+}
+
+namespace {
+
+core::DelayCode drifted_code(core::DelayCode code, std::int32_t delta) {
+  const int v = std::clamp(static_cast<int>(code.value()) + delta, 0,
+                           static_cast<int>(core::DelayCode::kCount) - 1);
+  return core::DelayCode{static_cast<std::uint8_t>(v)};
+}
+
+// Deterministic-outcome backoff: the sleep affects wall time only, never
+// which faults strike next (those re-roll off the attempt index).
+void apply_backoff(const ResiliencePolicy& policy, std::size_t attempt,
+                   Counter& backoff_us_counter) {
+  const std::uint32_t us = bounded_backoff_us(policy, attempt);
+  if (us == 0) return;
+  backoff_us_counter.increment(us);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+// One published sample on the behavioral path: up to `votes` successful
+// measures, each with bounded retry; the published word is their bitwise
+// majority. Returns false when every attempt of every vote failed.
+bool ScanGrid::chaos_measure_behavioral(Site& site, std::size_t sample,
+                                        core::Measurement& out,
+                                        std::uint32_t& forced_stall_pushes,
+                                        ChaosCounters& counters) {
+  const ResiliencePolicy& policy = config_.resilience;
+  const std::size_t votes = std::max<std::size_t>(1, policy.votes);
+  const std::size_t attempts_per_vote = policy.max_retries + 1;
+  const std::size_t width = site.thermometer->high_sense().bits();
+
+  std::vector<core::Measurement> vote_ms;
+  vote_ms.reserve(votes);
+  bool needed_retry = false;
+
+  for (std::size_t v = 0; v < votes; ++v) {
+    for (std::size_t a = 0; a < attempts_per_vote; ++a) {
+      const auto attempt =
+          static_cast<std::uint32_t>(v * attempts_per_vote + a);
+      fault::MeasureFaults f;
+      if (config_.injector) {
+        f = config_.injector->measure_faults(
+            site.id, static_cast<std::uint32_t>(sample), attempt, width);
+      }
+      record_fault_events(site, f, sample, attempt, counters);
+      if (f.dead || f.hung) {
+        if (f.hung) counters.timeouts.increment();
+        if (a + 1 < attempts_per_vote) {
+          ++site.retries;
+          counters.retries.increment();
+          apply_backoff(policy, a + 1, counters.backoff_us);
+          needed_retry = true;
+        }
+        continue;
+      }
+      const core::DelayCode code = drifted_code(site.code, f.code_delta);
+      if (site.vdd_overlay) site.vdd_overlay->set_offset(-f.droop_volts);
+      site.active_faults = f;  // read by the thermometer word hook
+      core::Measurement m =
+          site.thermometer->measure_vdd(site.rails(), sample_time(sample), code);
+      site.active_faults = fault::MeasureFaults{};
+      if (site.vdd_overlay) site.vdd_overlay->set_offset(0.0);
+      if (a > 0) needed_retry = true;
+      forced_stall_pushes = std::max(forced_stall_pushes, f.ring_stall_pushes);
+      vote_ms.push_back(std::move(m));
+      break;
+    }
+  }
+  if (vote_ms.empty()) return false;
+
+  if (vote_ms.size() == 1) {
+    out = std::move(vote_ms.front());
+  } else {
+    // Lost votes shrink the panel; keep it odd so majority stays defined.
+    std::size_t panel = vote_ms.size();
+    if (panel % 2 == 0) --panel;
+    std::vector<core::ThermoWord> words;
+    words.reserve(panel);
+    for (std::size_t i = 0; i < panel; ++i) words.push_back(vote_ms[i].word);
+    const core::ThermoWord winner = majority_word(words);
+    bool overridden = false;
+    std::size_t match = panel;  // first vote that already equals the winner
+    for (std::size_t i = 0; i < panel; ++i) {
+      if (words[i] == winner) {
+        if (match == panel) match = i;
+      } else {
+        overridden = true;
+      }
+    }
+    if (match < panel) {
+      out = std::move(vote_ms[match]);
+    } else {
+      // Majority word matches no single vote (flips on distinct bits):
+      // publish the majority word with a freshly decoded bin.
+      out = std::move(vote_ms.front());
+      out.word = winner;
+      out.bin = site.thermometer->decode_vdd_word(winner, out.code);
+    }
+    if (overridden) {
+      ++site.vote_overrides;
+      counters.vote_overrides.increment();
+    }
+  }
+  if (needed_retry) {
+    ++site.recovered;
+    counters.recovered.increment();
+  }
+  return true;
+}
+
+// One published sample on the gate-level path: each attempt is a real
+// PREPARE/SENSE transaction on the site's live simulation (retrying a
+// measure re-measures, exactly as silicon would). Voting and code drift are
+// behavioral-only: the PG tap is hard-selected at netlist construction.
+bool ScanGrid::chaos_measure_structural(Site& site, std::size_t sample,
+                                        core::Measurement& out,
+                                        std::uint32_t& forced_stall_pushes,
+                                        ChaosCounters& counters) {
+  const ResiliencePolicy& policy = config_.resilience;
+  if (!site.structural) {
+    site.structural = std::make_unique<StructuralModel>(site.rails(), config_);
+    Site* raw = &site;
+    site.structural->system->set_word_hook(
+        [raw](core::ThermoWord& word) { raw->active_faults.apply_word(word); });
+  }
+  const std::size_t width = site.structural->array.bits();
+
+  for (std::size_t a = 0; a <= policy.max_retries; ++a) {
+    const auto attempt = static_cast<std::uint32_t>(a);
+    fault::MeasureFaults f;
+    if (config_.injector) {
+      f = config_.injector->measure_faults(
+          site.id, static_cast<std::uint32_t>(sample), attempt, width);
+    }
+    f.code_delta = 0;  // not injectable at gate level; see above
+    record_fault_events(site, f, sample, attempt, counters);
+    if (f.dead || f.hung) {
+      if (f.hung) counters.timeouts.increment();
+      if (a < policy.max_retries) {
+        ++site.retries;
+        counters.retries.increment();
+        apply_backoff(policy, a + 1, counters.backoff_us);
+      }
+      continue;
+    }
+    if (site.vdd_overlay) site.vdd_overlay->set_offset(-f.droop_volts);
+    site.active_faults = f;
+    const auto words = site.structural->system->run_measures(
+        1, /*configure_first=*/!site.structural_configured);
+    site.structural_configured = true;
+    site.active_faults = fault::MeasureFaults{};
+    if (site.vdd_overlay) site.vdd_overlay->set_offset(0.0);
+    forced_stall_pushes = std::max(forced_stall_pushes, f.ring_stall_pushes);
+    out = core::Measurement{};
+    out.timestamp = sample_time(sample);
+    out.code = config_.code;
+    out.word = words.front();
+    if (a > 0) {
+      ++site.recovered;
+      counters.recovered.increment();
+    }
+    return true;
+  }
+  return false;
+}
+
+void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
+                                    std::size_t count, Shard& shard) {
+  ChaosCounters counters(telemetry_);
+  auto& stalls = telemetry_.counter("grid.ring_stalls");
+  auto& drops = telemetry_.counter("grid.samples_dropped");
+  auto& produced = telemetry_.counter("grid.samples_produced");
+  const ResiliencePolicy& policy = config_.resilience;
+
+  for (std::size_t k = first; k < first + count; ++k) {
+    if (site.quarantined) {
+      ++site.lost;
+      counters.lost.increment();
+      continue;
+    }
+    const double t0 = now_seconds();
+    core::Measurement m;
+    std::uint32_t forced_stall_pushes = 0;
+    const bool ok =
+        config_.fidelity == SiteFidelity::kBehavioral
+            ? chaos_measure_behavioral(site, k, m, forced_stall_pushes,
+                                       counters)
+            : chaos_measure_structural(site, k, m, forced_stall_pushes,
+                                       counters);
+    if (!ok) {
+      ++site.lost;
+      counters.lost.increment();
+      ++site.fail_streak;
+      if (policy.quarantine_after > 0 &&
+          site.fail_streak >= policy.quarantine_after) {
+        site.quarantined = true;
+        site.quarantine_sample = static_cast<std::uint32_t>(k + 1);
+        counters.quarantined.increment();
+      }
+      continue;
+    }
+    site.fail_streak = 0;
+    if (site.auto_range) {
+      site.code = site.auto_range->observe(site.thermometer->encode(m.word),
+                                           m.word.width());
+      site.code_steps = site.auto_range->steps_taken();
+    }
+    GridSample s;
+    s.site_index = site.index;
+    s.sample_index = static_cast<std::uint32_t>(k);
+    s.measurement = std::move(m);
+    s.wall_us = (now_seconds() - t0) * 1e6;
+    push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
+                           produced, forced_stall_pushes);
+  }
+}
+
 void ScanGrid::worker_run_shard(Shard& shard) {
   struct DoneGuard {
     Shard& shard;
@@ -244,7 +553,11 @@ void ScanGrid::worker_run_shard(Shard& shard) {
   for (std::size_t base = 0; base < samples; base += config_.batch) {
     const std::size_t count = std::min(config_.batch, samples - base);
     for (Site* site : shard.sites) {
-      run_site_batch(*site, base, count, shard);
+      if (chaos_) {
+        run_site_batch_chaos(*site, base, count, shard);
+      } else {
+        run_site_batch(*site, base, count, shard);
+      }
     }
   }
 }
@@ -333,8 +646,23 @@ RunResult ScanGrid::run() {
   result.wall_seconds = now_seconds() - t0;
 
   for (std::size_t i = 0; i < sites_.size(); ++i) {
-    result.sites[i].final_code = sites_[i]->code;
-    result.sites[i].code_steps = sites_[i]->code_steps;
+    auto& sr = result.sites[i];
+    Site& site = *sites_[i];
+    sr.final_code = site.code;
+    sr.code_steps = site.code_steps;
+    sr.quarantined = site.quarantined;
+    sr.quarantine_sample = site.quarantine_sample;
+    sr.retries = site.retries;
+    sr.recovered = site.recovered;
+    sr.lost = site.lost;
+    sr.vote_overrides = site.vote_overrides;
+    sr.fault_events = std::move(site.trace);
+    result.faults_injected += sr.fault_events.size();
+    result.retries += sr.retries;
+    result.recovered += sr.recovered;
+    result.lost += sr.lost;
+    result.vote_overrides += sr.vote_overrides;
+    result.quarantined_sites += sr.quarantined ? 1 : 0;
   }
   result.produced = telemetry_.counter("grid.samples_produced").value();
   result.dropped = telemetry_.counter("grid.samples_dropped").value();

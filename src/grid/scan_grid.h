@@ -31,6 +31,18 @@
 //   kDropNewest: a full ring drops the sample (drop counted, the result
 //   slot stays invalid) — for telemetry-only monitoring where the consumer
 //   may fall behind.
+//
+// Fault injection & graceful degradation
+//   Attaching a fault::FaultInjector (ScanGridConfig::injector) routes every
+//   measure through the chaos path: deterministic sensor-level faults are
+//   applied via narrow hooks (word hooks in core::NoiseThermometer /
+//   core::FullStructuralSystem, a fault::OffsetRail around the site rail,
+//   forced-full pushes in the ring path), and the ResiliencePolicy decides
+//   recovery — bounded-backoff retry, majority vote, and site quarantine.
+//   Degradation telemetry (grid.fault.*, grid.retries, grid.samples_lost,
+//   grid.sites_quarantined, ...) flows through the TelemetryRegistry and the
+//   per-site trace lands in SiteResult::fault_events. With no injector and
+//   the default policy the plain path runs and words stay bit-identical.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +55,8 @@
 #include "core/auto_range.h"
 #include "core/measurement.h"
 #include "core/thermometer.h"
+#include "fault/fault_injector.h"
+#include "grid/resilience.h"
 #include "grid/telemetry.h"
 #include "scan/floorplan.h"
 #include "stats/rng.h"
@@ -92,16 +106,32 @@ struct ScanGridConfig {
   // CSV path every `snapshot_every` drained samples (and once at the end).
   std::string snapshot_csv_path;
   std::size_t snapshot_every = 0;  // 0 = final snapshot only
+  // Deterministic fault injector (null = off). When null and `resilience`
+  // is the default policy, the measure path is byte-for-byte the plain one
+  // and every word is bit-identical to a fault-free run.
+  std::shared_ptr<const fault::FaultInjector> injector;
+  // Retry / vote / quarantine policy applied per sample (see resilience.h).
+  ResiliencePolicy resilience;
 };
 
 struct SiteResult {
   std::uint32_t site_id = 0;
   // Indexed by sample number; `valid[k]` is false for samples dropped under
-  // kDropNewest.
+  // kDropNewest, lost to faults, or skipped after quarantine.
   std::vector<core::Measurement> samples;
   std::vector<bool> valid;
   core::DelayCode final_code;
   std::uint64_t code_steps = 0;  // auto-range steps (0 under kFixed)
+  // --- degradation accounting (all zero without faults) -----------------
+  bool quarantined = false;
+  std::uint32_t quarantine_sample = 0;  // first sample skipped by quarantine
+  std::uint64_t retries = 0;            // failed attempts that were retried
+  std::uint64_t recovered = 0;          // samples salvaged by retry
+  std::uint64_t lost = 0;               // samples with no successful measure
+  std::uint64_t vote_overrides = 0;     // samples where majority != a vote
+  // Realized faults in (sample, attempt) order — deterministic for a given
+  // (seed, schedule) at any thread count.
+  std::vector<fault::FaultEvent> fault_events;
 };
 
 struct RunResult {
@@ -109,6 +139,13 @@ struct RunResult {
   std::uint64_t produced = 0;
   std::uint64_t dropped = 0;
   std::uint64_t ring_stalls = 0;
+  // Grid-wide degradation rollup (sums of the per-site fields).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t vote_overrides = 0;
+  std::uint64_t quarantined_sites = 0;
   double wall_seconds = 0.0;
   double samples_per_second = 0.0;
 };
@@ -161,10 +198,27 @@ class ScanGrid {
  private:
   struct Site;
   struct Shard;
+  struct ChaosCounters;
 
   void worker_run_shard(Shard& shard);
   void run_site_batch(Site& site, std::size_t first, std::size_t count,
                       Shard& shard);
+  // Fault/resilience path: per-sample retry, vote, quarantine. Selected for
+  // the whole run when an injector is attached or the policy is non-default;
+  // the plain path above stays untouched (and bit-identical) otherwise.
+  void run_site_batch_chaos(Site& site, std::size_t first, std::size_t count,
+                            Shard& shard);
+  bool chaos_measure_behavioral(Site& site, std::size_t sample,
+                                core::Measurement& out,
+                                std::uint32_t& forced_stall_pushes,
+                                ChaosCounters& counters);
+  bool chaos_measure_structural(Site& site, std::size_t sample,
+                                core::Measurement& out,
+                                std::uint32_t& forced_stall_pushes,
+                                ChaosCounters& counters);
+  void record_fault_events(Site& site, const fault::MeasureFaults& faults,
+                           std::size_t sample, std::uint32_t attempt,
+                           ChaosCounters& counters);
   void aggregate(RunResult& result);
 
   const scan::Floorplan& floorplan_;
@@ -172,6 +226,7 @@ class ScanGrid {
   TelemetryRegistry telemetry_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  bool chaos_ = false;  // injector attached or non-default resilience
   bool ran_ = false;
 };
 
