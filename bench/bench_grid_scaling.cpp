@@ -82,10 +82,32 @@ void report() {
                         "samples_per_sec", "speedup_vs_1t", "ring_stalls",
                         "bit_identical_to_serial"});
   double baseline_sps = 0.0;
+  double serial_ns_per_measure = 0.0;
+  double serial_allocs_per_measure = 0.0;
+  bool all_identical = true;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    grid::ScanGrid g{fp, grid_config(threads), bench_rails(fp)};
-    const auto result = g.run();
-    if (threads == 1) baseline_sps = result.samples_per_second;
+    // Behavioral measures are microsecond-scale; repeat the serial row and
+    // keep the least-disturbed run — that's the gated baseline number.
+    const int repeats = threads == 1 ? 3 : 1;
+    grid::RunResult result;
+    for (int r = 0; r < repeats; ++r) {
+      grid::ScanGrid g{fp, grid_config(threads), bench_rails(fp)};
+      const std::uint64_t allocs_before = bench::alloc_count();
+      auto run = g.run();
+      const auto allocs =
+          static_cast<double>(bench::alloc_count() - allocs_before);
+      if (threads == 1) {
+        const double ns =
+            run.wall_seconds * 1e9 / static_cast<double>(run.produced);
+        if (r == 0 || ns < serial_ns_per_measure) serial_ns_per_measure = ns;
+        serial_allocs_per_measure =
+            allocs / static_cast<double>(run.produced);
+      }
+      if (r == 0) {
+        if (threads == 1) baseline_sps = run.samples_per_second;
+        result = std::move(run);
+      }
+    }
 
     bool identical = true;
     for (std::size_t i = 0; i < result.sites.size(); ++i) {
@@ -93,6 +115,7 @@ void report() {
         identical &= result.sites[i].samples[k].word == reference[i][k];
       }
     }
+    all_identical &= identical;
 
     table.new_row()
         .add(static_cast<long long>(threads))
@@ -107,6 +130,21 @@ void report() {
         .add(identical ? "yes" : "NO");
   }
   bench::print_table(table);
+
+  // Behavioral-grid perf baseline → BENCH_grid.json, gated by
+  // bench/check_bench_regression.py exactly like BENCH_simcore.json.
+  // ns_per_measure is the serial (1-thread) end-to-end cost per published
+  // sample through the engine layer; allocs_per_measure counts every
+  // operator-new in the process across that run (engine construction
+  // amortised over sites × samples).
+  bench::JsonReport grid_json{"BENCH_grid.json"};
+  grid_json.set("grid_behavioral", "ns_per_measure", serial_ns_per_measure);
+  grid_json.set("grid_behavioral", "allocs_per_measure",
+                serial_allocs_per_measure);
+  grid_json.set("grid_behavioral", "samples_per_sec_1t", baseline_sps);
+  grid_json.set("grid_behavioral", "bit_identical_to_serial",
+                all_identical ? 1.0 : 0.0);
+  grid_json.write();
   bench::note("hardware_concurrency=" +
               std::to_string(std::thread::hardware_concurrency()) +
               "; speedup tracks physical cores — runs on a single-core "

@@ -204,11 +204,17 @@ core::SensorArray make_paper_array(const CalibratedModel& model) {
                                        model.array_loads);
 }
 
+core::BehavioralEngine make_paper_engine(const CalibratedModel& model,
+                                         core::ThermometerConfig config) {
+  return core::BehavioralEngine{make_paper_array(model),
+                                make_paper_array(model),
+                                core::PulseGenerator{model.pg_config()},
+                                config};
+}
+
 core::NoiseThermometer make_paper_thermometer(const CalibratedModel& model,
                                               core::ThermometerConfig config) {
-  return core::NoiseThermometer{
-      make_paper_array(model), make_paper_array(model),
-      core::PulseGenerator{model.pg_config()}, config};
+  return core::NoiseThermometer{make_paper_engine(model, config)};
 }
 
 }  // namespace psnt::calib

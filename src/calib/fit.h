@@ -76,6 +76,12 @@ void write_calibration_report(std::ostream& os, const FitResult& fit);
 // The 7-bit paper-calibrated HIGH-SENSE / LOW-SENSE array.
 [[nodiscard]] core::SensorArray make_paper_array(const CalibratedModel& model);
 
+// Behavioral MeasureEngine wired with the calibrated arrays and PG — the
+// backend every calibrated consumer (thermometer facade, scan chain, grid
+// sites) is ultimately built on.
+[[nodiscard]] core::BehavioralEngine make_paper_engine(
+    const CalibratedModel& model, core::ThermometerConfig config = {});
+
 // Complete thermometer wired with the calibrated arrays and PG.
 [[nodiscard]] core::NoiseThermometer make_paper_thermometer(
     const CalibratedModel& model, core::ThermometerConfig config = {});

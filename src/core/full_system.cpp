@@ -99,9 +99,7 @@ std::vector<ThermoWord> FullStructuralSystem::run_measures(
       clock_one_cycle();
       clock_one_cycle();
       sim_.run_until(Picoseconds{t_ + period / 4.0});
-      ThermoWord word = sensor_.read_word();
-      if (word_hook_) word_hook_(word);
-      words.push_back(word);
+      words.push_back(sensor_.read_word());
       if (words.size() == count) {
         // Drop enable before the next rising edge (we are at t_ + T/4).
         sim_.drive(fsm_.enable(), Picoseconds{t_ + period * 0.4},

@@ -9,7 +9,6 @@
 // the behavioral NoiseThermometer is only used to cross-validate the result.
 #pragma once
 
-#include <functional>
 #include <optional>
 #include <vector>
 
@@ -44,13 +43,6 @@ class FullStructuralSystem {
   [[nodiscard]] StructuralSensor& sensor() { return sensor_; }
   [[nodiscard]] Picoseconds now() const { return sim_.now(); }
 
-  // Fault-injection hook: runs on each captured word at the SENSE strobe,
-  // before it is appended to the run_measures result — the gate-level
-  // equivalent of NoiseThermometer's word hook. Unset by default (one
-  // branch; capture results are bit-identical when unset).
-  using WordHook = std::function<void(ThermoWord&)>;
-  void set_word_hook(WordHook hook) { word_hook_ = std::move(hook); }
-
  private:
   void clock_one_cycle();
 
@@ -58,7 +50,6 @@ class FullStructuralSystem {
   Config config_;
   StructuralControlFsm fsm_;
   StructuralSensor sensor_;
-  WordHook word_hook_;
   double t_ = 0.0;
 };
 

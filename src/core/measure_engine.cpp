@@ -1,0 +1,363 @@
+#include "core/measure_engine.h"
+
+#include <utility>
+
+#include "core/full_system.h"
+#include "core/range_tuner.h"
+#include "sim/simulator.h"
+#include "util/error.h"
+
+namespace psnt::core {
+
+static_assert(MeasureEngine<BehavioralEngine>,
+              "BehavioralEngine must satisfy the MeasureEngine concept");
+
+// ---------------------------------------------------------------------------
+// EngineContext
+// ---------------------------------------------------------------------------
+
+void EngineContext::set_fixed_code(DelayCode code) {
+  code_ = code;
+  auto_range_.reset();
+}
+
+void EngineContext::enable_auto_range(AutoRangeConfig config) {
+  auto_range_.emplace(config);
+  code_ = auto_range_->code();
+}
+
+DelayCode EngineContext::observe(const EncodedWord& reading,
+                                 std::size_t word_width) {
+  if (auto_range_) code_ = auto_range_->observe(reading, word_width);
+  return code_;
+}
+
+std::uint64_t EngineContext::code_steps() const {
+  return auto_range_ ? auto_range_->steps_taken() : 0;
+}
+
+// ---------------------------------------------------------------------------
+// BehavioralEngine
+// ---------------------------------------------------------------------------
+
+BehavioralEngine::BehavioralEngine(SensorArray high_sense,
+                                   SensorArray low_sense, PulseGenerator pg,
+                                   ThermometerConfig config)
+    : high_sense_(std::move(high_sense)),
+      low_sense_(std::move(low_sense)),
+      pg_(std::move(pg)),
+      config_(config),
+      encoder_(config.bubble_policy),
+      high_kernel_(high_sense_),
+      low_kernel_(low_sense_) {
+  PSNT_CHECK(config_.control_period.value() > 0.0,
+             "control period must be positive");
+  PSNT_CHECK(config_.v_nominal.value() > 0.0,
+             "nominal supply must be positive");
+}
+
+void BehavioralEngine::configure_code_policy(const CodePolicyConfig& policy) {
+  DelayCode initial = policy.initial;
+  if (policy.window) {
+    initial =
+        tune_for_window(high_sense_, pg_, policy.window->lo, policy.window->hi)
+            .code;
+  }
+  if (policy.auto_range) {
+    AutoRangeConfig ar = policy.auto_range_config;
+    ar.initial = initial;
+    ctx_.enable_auto_range(ar);
+  } else {
+    ctx_.set_fixed_code(initial);
+  }
+}
+
+Picoseconds BehavioralEngine::run_fsm_transaction(Picoseconds start,
+                                                  DelayCode code) {
+  // Reconfigure only when needed, exactly as the architecture does.
+  const bool needs_config = fsm_.active_code() != code;
+
+  FsmInputs in;
+  in.enable = true;
+  in.configure = needs_config;
+  in.ext_code = code;
+
+  Picoseconds t = start;
+  // Leave RESET once after construction.
+  if (fsm_.state() == FsmState::kReset) {
+    fsm_.step(in);
+    t += config_.control_period;
+  }
+
+  std::size_t guard = 0;
+  for (;;) {
+    const FsmOutputs out = fsm_.step(in);
+    t += config_.control_period;
+    if (out.capture_sense) return t;
+    // After INIT the configure request has been consumed.
+    if (fsm_.state() == FsmState::kPrepareLow) in.configure = false;
+    PSNT_CHECK(++guard < 32, "FSM failed to reach the SENSE state");
+  }
+}
+
+Picoseconds BehavioralEngine::prepare(const MeasureRequest& req) {
+  PSNT_CHECK(!pending_, "prepare() while a transaction is already in flight");
+  pending_code_ = resolve_code(req);
+  pending_target_ = req.target;
+  const Picoseconds edge = run_fsm_transaction(req.start, pending_code_);
+  // Sense launch: the P edge leaves the PG p_delay after the S_SNS command.
+  pending_launch_ = edge + pg_.p_delay();
+  pending_ = true;
+  return pending_launch_;
+}
+
+ThermoWord BehavioralEngine::sense_word(const SensorArray& array,
+                                        const BatchedSenseKernel& kernel,
+                                        Volt v_eff, Picoseconds skew) const {
+  // Engine-internal fast-path selection: the batched kernel is entered only
+  // when its uniform-array precondition holds and the supply is above the
+  // inverter threshold; mismatched arrays and saturated supplies take the
+  // reference SensorArray path. Both produce bit-identical words.
+  if (kernel.fast_path(v_eff)) return kernel.measure(array, v_eff, skew);
+  return array.measure(v_eff, skew);
+}
+
+ThermoWord BehavioralEngine::sense(const analog::RailPair& rails,
+                                   DelayCode code) {
+  PSNT_CHECK(pending_, "sense() without a prepared transaction");
+  PSNT_CHECK(!(code != pending_code_),
+             "sense() code differs from the prepared code");
+  const Picoseconds skew = pg_.skew(code);
+  ThermoWord word;
+  if (pending_target_ == SenseTarget::kVdd) {
+    const Volt v_eff = rails.effective(pending_launch_);
+    word = sense_word(high_sense_, high_kernel_, v_eff, skew);
+  } else {
+    // LOW-SENSE inverter: nominal VDD against the noisy ground.
+    PSNT_CHECK(rails.gnd != nullptr, "GND sense needs a ground rail");
+    const Volt v_eff = config_.v_nominal - rails.gnd->at(pending_launch_);
+    word = sense_word(low_sense_, low_kernel_, v_eff, skew);
+  }
+  ctx_.apply_word(word);
+  // Drain the done cycle so the FSM is parked in IDLE for the next call.
+  fsm_.step(FsmInputs{});
+  pending_ = false;
+  return word;
+}
+
+Measurement BehavioralEngine::measure(const MeasureRequest& req,
+                                      const analog::RailPair& rails) {
+  Measurement m;
+  m.timestamp = prepare(req);
+  m.target = pending_target_;
+  m.code = pending_code_;
+  const DelayCode code = pending_code_;
+  m.word = sense(rails, code);
+  m.bin = m.target == SenseTarget::kVdd ? decode(m.word, code)
+                                        : decode_gnd_word(m.word, code);
+  return m;
+}
+
+VoltageBin BehavioralEngine::decode(const ThermoWord& word,
+                                    DelayCode code) const {
+  return high_kernel_.decode(high_sense_, word, code, pg_.skew(code));
+}
+
+VoltageBin BehavioralEngine::decode_gnd_word(const ThermoWord& word,
+                                             DelayCode code) const {
+  return low_kernel_.decode_gnd(low_sense_, word, code, pg_.skew(code),
+                                config_.v_nominal);
+}
+
+DynamicRange BehavioralEngine::vdd_range(DelayCode code) const {
+  return high_kernel_.dynamic_range(high_sense_, code, pg_.skew(code));
+}
+
+DynamicRange BehavioralEngine::gnd_range(DelayCode code) const {
+  const DynamicRange v =
+      low_kernel_.dynamic_range(low_sense_, code, pg_.skew(code));
+  // gnd = v_nominal - v_eff: the measurable bounce window flips.
+  return DynamicRange{config_.v_nominal - v.no_errors_above,
+                      config_.v_nominal - v.all_errors_below};
+}
+
+// ---------------------------------------------------------------------------
+// Type-erased handles
+// ---------------------------------------------------------------------------
+
+void IMeasureEngine::measure_batch(const MeasureRequest& first,
+                                   Picoseconds interval, std::size_t count,
+                                   std::vector<Measurement>& out) {
+  out.reserve(out.size() + count);
+  MeasureRequest req = first;
+  for (std::size_t k = 0; k < count; ++k) {
+    req.start = Picoseconds{first.start.value() +
+                            static_cast<double>(k) * interval.value()};
+    out.push_back(measure(req));
+  }
+}
+
+namespace {
+
+class BehavioralEngineHandle final : public IMeasureEngine {
+ public:
+  BehavioralEngineHandle(BehavioralEngine engine, analog::RailPair rails,
+                         const EngineSiteOptions& options)
+      : engine_(std::move(engine)), rails_(rails) {
+    engine_.configure_code_policy(options.code_policy);
+    if (options.fault_hooks) {
+      offset_vdd_.emplace(rails_.vdd, &engine_.context());
+      rails_.vdd = &*offset_vdd_;
+    }
+  }
+
+  EngineContext& context() override { return engine_.context(); }
+  [[nodiscard]] std::size_t word_bits() const override {
+    return engine_.word_bits();
+  }
+  Measurement measure(const MeasureRequest& req) override {
+    return engine_.measure(req, rails_);
+  }
+  VoltageBin decode(const ThermoWord& word, DelayCode code) override {
+    return engine_.decode(word, code);
+  }
+  [[nodiscard]] EncodedWord encode(const ThermoWord& word) const override {
+    return engine_.encode(word);
+  }
+
+ private:
+  BehavioralEngine engine_;
+  std::optional<ContextOffsetRail> offset_vdd_;
+  analog::RailPair rails_;
+};
+
+// Gate-level backend: a private event simulator running the full Fig. 6
+// netlist. One netlist transaction covers prepare+sense, so measure() maps
+// onto run_measures(1) and measure_batch amortizes FSM idle realignment
+// across the whole batch. Thread-confined: build and measure on one thread.
+class StructuralEngineHandle final : public IMeasureEngine {
+ public:
+  StructuralEngineHandle(const SensorArray& array, const PulseGenerator& pg,
+                         analog::RailPair rails, Picoseconds control_period,
+                         const EngineSiteOptions& options)
+      : array_(array), pg_(pg), kernel_(array_), encoder_(BubblePolicy::kMajority) {
+    PSNT_CHECK(!options.code_policy.auto_range,
+               "the structural backend cannot auto-range: its PG tap is "
+               "hard-selected at netlist construction");
+    code_ = options.code_policy.initial;
+    if (options.code_policy.window) {
+      code_ = tune_for_window(array_, pg_, options.code_policy.window->lo,
+                              options.code_policy.window->hi)
+                  .code;
+    }
+    ctx_.set_fixed_code(code_);
+    if (options.fault_hooks) {
+      offset_vdd_.emplace(rails.vdd, &ctx_);
+      rails.vdd = &*offset_vdd_;
+    }
+    // Long sample streams: drop per-edge debug logs (DFF history, inverter
+    // transition traces) so steady-state measures allocate nothing.
+    sim_.set_instrumentation(false);
+    FullStructuralSystem::Config config;
+    config.control_period = control_period;
+    config.code = code_;
+    system_ = std::make_unique<FullStructuralSystem>(sim_, "site", array_, pg_,
+                                                     rails, config);
+    // Stats marks start after construction so power-on settle is excluded.
+    events_mark_ = sim_.scheduler().executed_events();
+    allocs_mark_ = sim_.scheduler().allocation_count();
+  }
+
+  EngineContext& context() override { return ctx_; }
+  [[nodiscard]] std::size_t word_bits() const override { return array_.bits(); }
+
+  Measurement measure(const MeasureRequest& req) override {
+    const auto words = run_words(1);
+    return to_measurement(req.start, words.front());
+  }
+
+  void measure_batch(const MeasureRequest& first, Picoseconds interval,
+                     std::size_t count, std::vector<Measurement>& out) override {
+    const auto words = run_words(count);
+    out.reserve(out.size() + count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const Picoseconds at{first.start.value() +
+                           static_cast<double>(k) * interval.value()};
+      out.push_back(to_measurement(at, words[k]));
+    }
+  }
+
+  [[nodiscard]] bool prefers_batch() const override { return true; }
+  [[nodiscard]] bool supports_code_trim() const override { return false; }
+  [[nodiscard]] bool supports_voting() const override { return false; }
+
+  VoltageBin decode(const ThermoWord& word, DelayCode code) override {
+    return kernel_.decode(array_, word, code, pg_.skew(code));
+  }
+  [[nodiscard]] EncodedWord encode(const ThermoWord& word) const override {
+    return encoder_.encode(word);
+  }
+
+  EngineBatchStats take_batch_stats() override {
+    const sim::Scheduler& sched = sim_.scheduler();
+    EngineBatchStats stats;
+    stats.sim_events = sched.executed_events() - events_mark_;
+    stats.sim_allocs = sched.allocation_count() - allocs_mark_;
+    events_mark_ = sched.executed_events();
+    allocs_mark_ = sched.allocation_count();
+    return stats;
+  }
+
+ private:
+  std::vector<ThermoWord> run_words(std::size_t count) {
+    auto words = system_->run_measures(count, /*configure_first=*/!configured_);
+    configured_ = true;
+    if (ctx_.has_word_hook()) {
+      for (ThermoWord& word : words) ctx_.apply_word(word);
+    }
+    return words;
+  }
+
+  Measurement to_measurement(Picoseconds at, const ThermoWord& word) {
+    Measurement m;
+    m.timestamp = at;
+    m.target = SenseTarget::kVdd;
+    m.code = code_;
+    m.word = word;
+    m.bin = decode(word, code_);
+    return m;
+  }
+
+  sim::Simulator sim_;
+  SensorArray array_;
+  PulseGenerator pg_;
+  EngineContext ctx_;
+  std::optional<ContextOffsetRail> offset_vdd_;
+  std::unique_ptr<FullStructuralSystem> system_;
+  mutable BatchedSenseKernel kernel_;
+  Encoder encoder_;
+  DelayCode code_{3};
+  bool configured_ = false;
+  std::uint64_t events_mark_ = 0;
+  std::uint64_t allocs_mark_ = 0;
+};
+
+}  // namespace
+
+EngineHandle make_behavioral_engine(BehavioralEngine engine,
+                                    analog::RailPair rails,
+                                    const EngineSiteOptions& options) {
+  return std::make_unique<BehavioralEngineHandle>(std::move(engine), rails,
+                                                  options);
+}
+
+EngineHandle make_structural_engine(const SensorArray& array,
+                                    const PulseGenerator& pg,
+                                    analog::RailPair rails,
+                                    Picoseconds control_period,
+                                    const EngineSiteOptions& options) {
+  return std::make_unique<StructuralEngineHandle>(array, pg, rails,
+                                                  control_period, options);
+}
+
+}  // namespace psnt::core

@@ -1,0 +1,316 @@
+// MeasureEngine: the single measurement contract behind every sensing path.
+//
+// The paper's system (Fig. 6) is one pipeline — PG skew, PREPARE/SENSE, array
+// sample, ENC — and this layer makes the codebase mirror that: every backend
+// (the behavioral NoiseThermometer model, the gate-level structural netlist,
+// and any future SIMD-batched or remote-site engine) implements the same
+//
+//     prepare(request) -> launch instant
+//     sense(rails, code) -> ThermoWord      (word hook applied post-capture)
+//     decode / encode
+//
+// transaction, and every consumer — the serial scan chain, the parallel scan
+// grid, the resilience retry/vote/quarantine loop — speaks only this contract.
+//
+// Two polymorphism styles, matching the two consumer shapes:
+//
+//  * `MeasureEngine` (a C++20 concept) is the static-polymorphic contract for
+//    code specialized at compile time (the scan chain, tight benches).
+//    `BehavioralEngine` satisfies it directly.
+//  * `IMeasureEngine` / `EngineHandle` is a thin type-erased handle for the
+//    grid, where behavioral and gate-level sites coexist at runtime. Site
+//    fidelity and fault-hook installation are *construction parameters* of
+//    the handle factories, never branches in the consumer.
+//
+// Hook surface (the ONLY one in the codebase)
+//   `EngineContext` carries exactly three cross-cutting concerns:
+//     - word hook: runs on the raw sensed word after capture, before decode —
+//       where a stuck DS node or metastable FF corrupts the physical path;
+//     - rail offset: a settable supply offset read by ContextOffsetRail, the
+//       droop-spike injection point (offset 0.0 is bit-identical: x + 0.0);
+//     - delay-code policy: fixed code, RangeTuner window resolution (once, at
+//       engine construction), or an AutoRangeController — consumers query
+//       `current_code()` and feed published words back via `observe()`
+//       instead of re-deriving policy themselves.
+//   fault::FaultSession is the one binding between a FaultInjector and this
+//   context; nothing else installs hooks.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "analog/rail.h"
+#include "core/auto_range.h"
+#include "core/control_fsm.h"
+#include "core/encoder.h"
+#include "core/measurement.h"
+#include "core/pulse_gen.h"
+#include "core/sense_kernel.h"
+#include "core/sensor_array.h"
+
+namespace psnt::core {
+
+struct ThermometerConfig {
+  // Control/system clock of the CUT the sensor runs at. The paper's control
+  // critical path is 1.22 ns, so 800 MHz (1250 ps) is a comfortable choice.
+  Picoseconds control_period{1250.0};
+  // Nominal supply feeding the FFs, the control logic and the LOW-SENSE
+  // inverters.
+  Volt v_nominal{1.0};
+  BubblePolicy bubble_policy = BubblePolicy::kMajority;
+};
+
+// Target window for RangeTuner-based code selection (Sec. III-A).
+struct CodeWindow {
+  Volt lo;
+  Volt hi;
+};
+
+// How an engine picks its Delay Code. Resolved exactly once, at engine
+// construction: a `window` runs core::tune_for_window against the engine's
+// own array/PG to pick the starting code; `auto_range` then hands that code
+// to an AutoRangeController that re-trims as words are observed.
+struct CodePolicyConfig {
+  DelayCode initial{3};
+  std::optional<CodeWindow> window;
+  bool auto_range = false;
+  // `initial` (post window resolution) overrides auto_range_config.initial.
+  AutoRangeConfig auto_range_config{};
+};
+
+class EngineContext {
+ public:
+  using WordHook = std::function<void(ThermoWord&)>;
+
+  // --- word hook --------------------------------------------------------
+  void set_word_hook(WordHook hook) { word_hook_ = std::move(hook); }
+  void clear_word_hook() { word_hook_ = nullptr; }
+  [[nodiscard]] bool has_word_hook() const {
+    return static_cast<bool>(word_hook_);
+  }
+  void apply_word(ThermoWord& word) const {
+    if (word_hook_) word_hook_(word);
+  }
+
+  // --- rail hook --------------------------------------------------------
+  void set_rail_offset(double volts) { rail_offset_volts_ = volts; }
+  [[nodiscard]] double rail_offset() const { return rail_offset_volts_; }
+
+  // --- delay-code policy ------------------------------------------------
+  void set_fixed_code(DelayCode code);
+  void enable_auto_range(AutoRangeConfig config);
+  [[nodiscard]] bool auto_ranging() const { return auto_range_.has_value(); }
+  [[nodiscard]] DelayCode current_code() const { return code_; }
+  // Feeds one published reading back into the policy; returns the code the
+  // NEXT measure will use. No-op (returns current_code) under a fixed code.
+  DelayCode observe(const EncodedWord& reading, std::size_t word_width);
+  [[nodiscard]] std::uint64_t code_steps() const;
+
+ private:
+  WordHook word_hook_;
+  double rail_offset_volts_ = 0.0;
+  DelayCode code_{3};
+  std::optional<AutoRangeController> auto_range_;
+};
+
+// Rail view that adds the context's settable offset to a wrapped source —
+// the droop-spike hook point. Installed only when fault hooks are requested
+// at engine construction, so the hook-free path never pays the indirection;
+// with the offset at 0.0 the reads are bit-identical (x + 0.0 == x).
+class ContextOffsetRail final : public analog::RailSource {
+ public:
+  ContextOffsetRail(const analog::RailSource* inner, const EngineContext* ctx)
+      : inner_(inner), ctx_(ctx) {}
+
+  [[nodiscard]] Volt at(Picoseconds t) const override {
+    return Volt{inner_->at(t).value() + ctx_->rail_offset()};
+  }
+
+ private:
+  const analog::RailSource* inner_;
+  const EngineContext* ctx_;
+};
+
+// One measure transaction. `code` overrides the context's code policy for
+// this transaction only (drifted-code injection, explicit-code callers).
+struct MeasureRequest {
+  Picoseconds start{0.0};
+  SenseTarget target = SenseTarget::kVdd;
+  std::optional<DelayCode> code;
+};
+
+// The static-polymorphic engine contract.
+template <typename E>
+concept MeasureEngine =
+    requires(E e, const E& ce, const MeasureRequest& req,
+             const analog::RailPair& rails, const ThermoWord& word,
+             DelayCode code) {
+      { e.context() } -> std::same_as<EngineContext&>;
+      { ce.word_bits() } -> std::convertible_to<std::size_t>;
+      { e.prepare(req) } -> std::same_as<Picoseconds>;
+      { e.sense(rails, code) } -> std::same_as<ThermoWord>;
+      { e.decode(word, code) } -> std::same_as<VoltageBin>;
+      { ce.encode(word) } -> std::same_as<EncodedWord>;
+      { e.measure(req, rails) } -> std::same_as<Measurement>;
+    };
+
+// Behavioral backend: the paper's sensor as closed-form models (alpha-power
+// inverter delays, FF timing checks) stepped by the control FSM. Absorbs the
+// BatchedSenseKernel as an engine-internal optimization: the kernel's
+// uniform-array fast path is selected here, per sense, and mismatched arrays
+// or saturated supplies take the reference SensorArray::measure path — the
+// selection is invisible to callers and bit-identical either way.
+class BehavioralEngine {
+ public:
+  BehavioralEngine(SensorArray high_sense, SensorArray low_sense,
+                   PulseGenerator pg, ThermometerConfig config);
+
+  [[nodiscard]] EngineContext& context() { return ctx_; }
+  [[nodiscard]] const EngineContext& context() const { return ctx_; }
+  [[nodiscard]] const SensorArray& high_sense() const { return high_sense_; }
+  [[nodiscard]] const SensorArray& low_sense() const { return low_sense_; }
+  [[nodiscard]] const PulseGenerator& pulse_generator() const { return pg_; }
+  [[nodiscard]] const ThermometerConfig& config() const { return config_; }
+  [[nodiscard]] const ControlFsm& fsm() const { return fsm_; }
+  [[nodiscard]] std::size_t word_bits() const { return high_sense_.bits(); }
+
+  // Number of control cycles one complete measure occupies (IDLE→…→done).
+  [[nodiscard]] std::size_t transaction_cycles() const { return 6; }
+
+  // Resolves the code policy once (window search, auto-range seeding) and
+  // stores the result in the context. See CodePolicyConfig.
+  void configure_code_policy(const CodePolicyConfig& policy);
+
+  // PREPARE: steps the FSM from IDLE through the transaction for `req` and
+  // returns the sense launch instant (S_SNS edge + PG p_delay). The engine
+  // then expects exactly one sense() call to complete the transaction.
+  Picoseconds prepare(const MeasureRequest& req);
+
+  // SENSE: captures the word at the prepared launch instant against `rails`,
+  // applies the context word hook, and parks the FSM back in IDLE. `code`
+  // must be the prepared transaction's code (PREPARE configured the FSM and
+  // the PG tap with it).
+  ThermoWord sense(const analog::RailPair& rails, DelayCode code);
+
+  // prepare + sense + decode, the full transaction.
+  Measurement measure(const MeasureRequest& req, const analog::RailPair& rails);
+
+  // Decodes a word against the HIGH-SENSE ladder for `code`.
+  [[nodiscard]] VoltageBin decode(const ThermoWord& word, DelayCode code) const;
+  // LOW-SENSE (GND-bounce) decode: v_nominal minus the HIGH ladder window.
+  [[nodiscard]] VoltageBin decode_gnd_word(const ThermoWord& word,
+                                           DelayCode code) const;
+  [[nodiscard]] EncodedWord encode(const ThermoWord& word) const {
+    return encoder_.encode(word);
+  }
+
+  // Dynamic range of the HIGH-SENSE array at a code (Fig. 5's x-extent).
+  [[nodiscard]] DynamicRange vdd_range(DelayCode code) const;
+  // GND-n bounce range measurable at a code.
+  [[nodiscard]] DynamicRange gnd_range(DelayCode code) const;
+
+  // The code `req` resolves to: the per-request override or the context's
+  // policy code.
+  [[nodiscard]] DelayCode resolve_code(const MeasureRequest& req) const {
+    return req.code ? *req.code : ctx_.current_code();
+  }
+
+ private:
+  // Steps the FSM from IDLE through one transaction; returns the absolute
+  // time of the S_SNS edge.
+  Picoseconds run_fsm_transaction(Picoseconds start, DelayCode code);
+  [[nodiscard]] ThermoWord sense_word(const SensorArray& array,
+                                      const BatchedSenseKernel& kernel,
+                                      Volt v_eff, Picoseconds skew) const;
+
+  SensorArray high_sense_;
+  SensorArray low_sense_;
+  PulseGenerator pg_;
+  ThermometerConfig config_;
+  ControlFsm fsm_;
+  Encoder encoder_;
+  EngineContext ctx_;
+  // Value-only caches (safe under the by-value moves this type undergoes);
+  // mutable because range queries are const but warm the per-code ladders.
+  mutable BatchedSenseKernel high_kernel_;
+  mutable BatchedSenseKernel low_kernel_;
+  // In-flight transaction state between prepare() and sense().
+  bool pending_ = false;
+  Picoseconds pending_launch_{0.0};
+  DelayCode pending_code_{0};
+  SenseTarget pending_target_ = SenseTarget::kVdd;
+};
+
+// Per-batch simulation cost of a gate-level engine (zeros for models that
+// do not run an event simulator).
+struct EngineBatchStats {
+  std::uint64_t sim_events = 0;
+  std::uint64_t sim_allocs = 0;
+};
+
+// Type-erased engine handle for runtime-heterogeneous consumers (the scan
+// grid). Rails are bound at construction; requests carry only the schedule.
+class IMeasureEngine {
+ public:
+  virtual ~IMeasureEngine() = default;
+
+  virtual EngineContext& context() = 0;
+  [[nodiscard]] virtual std::size_t word_bits() const = 0;
+
+  // One full PREPARE+SENSE transaction against the engine's bound rails.
+  virtual Measurement measure(const MeasureRequest& req) = 0;
+
+  // `count` consecutive transactions starting at `first.start`, spaced by
+  // `interval`, appended to `out`. Backends that amortize per-transaction
+  // setup (the structural netlist) override this; the default loops
+  // measure().
+  virtual void measure_batch(const MeasureRequest& first, Picoseconds interval,
+                             std::size_t count, std::vector<Measurement>& out);
+  // True when measure_batch is materially cheaper than measure() in a loop.
+  [[nodiscard]] virtual bool prefers_batch() const { return false; }
+
+  // Per-transaction delay-code trim (auto-range, drift injection). False for
+  // backends whose PG tap is hard-selected at construction (the netlist).
+  [[nodiscard]] virtual bool supports_code_trim() const { return true; }
+  // Majority voting re-measures the same sample; false when the backend
+  // cannot replay a sample independently of its live state.
+  [[nodiscard]] virtual bool supports_voting() const { return true; }
+
+  virtual VoltageBin decode(const ThermoWord& word, DelayCode code) = 0;
+  [[nodiscard]] virtual EncodedWord encode(const ThermoWord& word) const = 0;
+
+  // Simulation cost since the previous call (or construction). Zeros for
+  // non-simulating backends.
+  virtual EngineBatchStats take_batch_stats() { return {}; }
+};
+
+using EngineHandle = std::unique_ptr<IMeasureEngine>;
+
+// Construction-time site parameters shared by every handle factory: the code
+// policy and whether the fault hook surface (context word hook + rail-offset
+// view around vdd) is wired in. With `fault_hooks` false the engine reads
+// the raw rails and pays no indirection.
+struct EngineSiteOptions {
+  CodePolicyConfig code_policy;
+  bool fault_hooks = false;
+};
+
+// Behavioral handle: wraps a BehavioralEngine bound to `rails`.
+[[nodiscard]] EngineHandle make_behavioral_engine(BehavioralEngine engine,
+                                                  analog::RailPair rails,
+                                                  const EngineSiteOptions& options);
+
+// Gate-level handle: builds a private sim::Simulator + FullStructuralSystem
+// netlist around copies of `array`/`pg`. The delay code is resolved from the
+// code policy once (window tuning included) and hard-selects the PG tap, so
+// supports_code_trim() is false; auto_range is rejected. Build on the thread
+// that will call measure(): the netlist is thread-confined.
+[[nodiscard]] EngineHandle make_structural_engine(
+    const SensorArray& array, const PulseGenerator& pg, analog::RailPair rails,
+    Picoseconds control_period, const EngineSiteOptions& options);
+
+}  // namespace psnt::core

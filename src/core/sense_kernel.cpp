@@ -32,9 +32,9 @@ ThermoWord BatchedSenseKernel::measure(const SensorArray& array, Volt v_eff,
   PSNT_CHECK(c_total_pf_.size() == array.bits(),
              "kernel built for a different array");
   const double overdrive = v_eff.value() - v_threshold_;
-  // Below-threshold supplies (delay saturates) and mismatched arrays take the
-  // reference path; both are off the steady-state hot loop.
-  if (!uniform_ || overdrive <= 1e-9) return array.measure(v_eff, skew);
+  PSNT_CHECK(uniform_ && overdrive > 1e-9,
+             "BatchedSenseKernel::measure outside the fast path; callers "
+             "must gate on fast_path()");
 
   // Hoisted once per measure instead of once per cell; the per-cell
   // expression below then matches AlphaPowerDelayModel::delay operand-for-

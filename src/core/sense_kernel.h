@@ -19,8 +19,11 @@
 //    parameters, i_drive = K * pow(V - Vt, alpha) is hoisted out of the cell
 //    loop and each DS arrival computed as c_total[i] * V / i_drive — the
 //    exact operand values and operation order of AlphaPowerDelayModel::delay,
-//    hence bit-identical IEEE results. Arrays with per-cell inverter
-//    variation (mismatch studies) silently fall back to SensorArray::measure.
+//    hence bit-identical IEEE results. The fast path is a precondition, not
+//    a fallback: callers (the BehavioralEngine) query fast_path() once per
+//    sense and route mismatched arrays (per-cell inverter variation) and
+//    saturated supplies to SensorArray::measure themselves, so the kernel
+//    never silently degrades to the slow path.
 //
 // The kernel holds only value data (no pointer back to its array): the owning
 // NoiseThermometer is moved by value through make_paper_thermometer and
@@ -42,7 +45,15 @@ class BatchedSenseKernel {
   BatchedSenseKernel() = default;
   explicit BatchedSenseKernel(const SensorArray& array);
 
-  // Bit-identical equivalent of array.measure(v_eff, skew).
+  // True when the shared-drive fast path applies to this supply: uniform
+  // inverter parameters and v_eff above the inverter threshold (below it the
+  // delay saturates and the reference path must model it).
+  [[nodiscard]] bool fast_path(Volt v_eff) const {
+    return uniform_ && v_eff.value() - v_threshold_ > 1e-9;
+  }
+
+  // Bit-identical equivalent of array.measure(v_eff, skew). Precondition:
+  // fast_path(v_eff) — callers route other supplies to the array directly.
   [[nodiscard]] ThermoWord measure(const SensorArray& array, Volt v_eff,
                                    Picoseconds skew) const;
 

@@ -4,94 +4,22 @@
 
 namespace psnt::core {
 
-NoiseThermometer::NoiseThermometer(SensorArray high_sense,
-                                   SensorArray low_sense, PulseGenerator pg,
-                                   ThermometerConfig config)
-    : high_sense_(std::move(high_sense)),
-      low_sense_(std::move(low_sense)),
-      pg_(std::move(pg)),
-      config_(config),
-      encoder_(config.bubble_policy),
-      high_kernel_(high_sense_),
-      low_kernel_(low_sense_) {
-  PSNT_CHECK(config_.control_period.value() > 0.0,
-             "control period must be positive");
-  PSNT_CHECK(config_.v_nominal.value() > 0.0,
-             "nominal supply must be positive");
-}
-
-std::size_t NoiseThermometer::transaction_cycles() const {
-  // IDLE→READY, READY→S_PRP0, S_PRP0→S_PRP, S_PRP→S_SNS0, S_SNS0→S_SNS,
-  // S_SNS→(done). Configuration (INIT) adds one more when the code changes.
-  return 6;
-}
-
-Picoseconds NoiseThermometer::run_fsm_transaction(Picoseconds start,
-                                                  DelayCode code) {
-  // Reconfigure only when needed, exactly as the architecture does.
-  const bool needs_config = fsm_.active_code() != code;
-
-  FsmInputs in;
-  in.enable = true;
-  in.configure = needs_config;
-  in.ext_code = code;
-
-  Picoseconds t = start;
-  // Leave RESET once after construction.
-  if (fsm_.state() == FsmState::kReset) {
-    fsm_.step(in);
-    t += config_.control_period;
-  }
-
-  std::size_t guard = 0;
-  for (;;) {
-    const FsmOutputs out = fsm_.step(in);
-    t += config_.control_period;
-    if (out.capture_sense) return t;
-    // After INIT the configure request has been consumed.
-    if (fsm_.state() == FsmState::kPrepareLow) in.configure = false;
-    PSNT_CHECK(++guard < 32, "FSM failed to reach the SENSE state");
-  }
-}
-
 Measurement NoiseThermometer::measure_vdd(const analog::RailPair& rails,
                                           Picoseconds start, DelayCode code) {
-  const Picoseconds edge = run_fsm_transaction(start, code);
-  // Sense launch: the P edge leaves the PG p_delay after the S_SNS command.
-  const Picoseconds launch = edge + pg_.p_delay();
-  const Volt v_eff = rails.effective(launch);
-  const Picoseconds skew = pg_.skew(code);
-
-  Measurement m;
-  m.timestamp = launch;
-  m.target = SenseTarget::kVdd;
-  m.code = code;
-  m.word = high_kernel_.measure(high_sense_, v_eff, skew);
-  if (word_hook_) word_hook_(m.word);
-  m.bin = high_kernel_.decode(high_sense_, m.word, code, skew);
-  // Drain the done cycle so the FSM is parked in IDLE for the next call.
-  fsm_.step(FsmInputs{});
-  return m;
+  MeasureRequest req;
+  req.start = start;
+  req.target = SenseTarget::kVdd;
+  req.code = code;
+  return engine_.measure(req, rails);
 }
 
 Measurement NoiseThermometer::measure_gnd(const analog::RailSource& gnd,
                                           Picoseconds start, DelayCode code) {
-  const Picoseconds edge = run_fsm_transaction(start, code);
-  const Picoseconds launch = edge + pg_.p_delay();
-  // LOW-SENSE inverter: nominal VDD against the noisy ground.
-  const Volt v_eff = config_.v_nominal - gnd.at(launch);
-  const Picoseconds skew = pg_.skew(code);
-
-  Measurement m;
-  m.timestamp = launch;
-  m.target = SenseTarget::kGnd;
-  m.code = code;
-  m.word = low_kernel_.measure(low_sense_, v_eff, skew);
-  if (word_hook_) word_hook_(m.word);
-  m.bin = low_kernel_.decode_gnd(low_sense_, m.word, code, skew,
-                                 config_.v_nominal);
-  fsm_.step(FsmInputs{});
-  return m;
+  MeasureRequest req;
+  req.start = start;
+  req.target = SenseTarget::kGnd;
+  req.code = code;
+  return engine_.measure(req, analog::RailPair{nullptr, &gnd});
 }
 
 std::vector<Measurement> NoiseThermometer::iterate_vdd(
@@ -118,18 +46,6 @@ std::vector<Measurement> NoiseThermometer::iterate_gnd(
         measure_gnd(gnd, start + interval * static_cast<double>(k), code));
   }
   return out;
-}
-
-DynamicRange NoiseThermometer::vdd_range(DelayCode code) const {
-  return high_kernel_.dynamic_range(high_sense_, code, pg_.skew(code));
-}
-
-DynamicRange NoiseThermometer::gnd_range(DelayCode code) const {
-  const DynamicRange v =
-      low_kernel_.dynamic_range(low_sense_, code, pg_.skew(code));
-  // gnd = v_nominal - v_eff: the measurable bounce window flips.
-  return DynamicRange{config_.v_nominal - v.no_errors_above,
-                      config_.v_nominal - v.all_errors_below};
 }
 
 }  // namespace psnt::core

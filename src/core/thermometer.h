@@ -1,7 +1,9 @@
-// NoiseThermometer: the complete sensor system of Fig. 6.
+// NoiseThermometer: the complete sensor system of Fig. 6, as a thin facade
+// over the behavioral MeasureEngine backend.
 //
-// Owns the HIGH-SENSE array (VDD-n), the LOW-SENSE array (GND-n), the pulse
-// generator, the encoder and the control FSM. Two operating styles:
+// All measurement mechanics — FSM stepping, PREPARE/SENSE, the batched sense
+// kernel, encode/decode — live in core::BehavioralEngine (measure_engine.h);
+// this class keeps the sensor-level vocabulary callers use:
 //
 //  * one-shot `measure_*`   — runs a full PREPARE+SENSE transaction against a
 //    rail source at a given start time and returns the decoded Measurement.
@@ -13,47 +15,51 @@
 //    paper's method for capturing the CUT transient (Sec. III-B), returning
 //    the sampled noise trajectory.
 //
-// The FSM is stepped for every transaction, so measurement latency in control
-// cycles, busy flags and delay-code (re)configuration behave exactly as the
-// architecture described in the paper.
+// Cross-cutting concerns (fault word hooks, rail-offset injection, delay-code
+// policy) are NOT part of this class: they belong to the engine's
+// EngineContext, reachable via engine().context() — one hook surface for
+// every backend instead of per-class hook plumbing.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "analog/rail.h"
-#include "core/control_fsm.h"
-#include "core/encoder.h"
-#include "core/measurement.h"
-#include "core/pulse_gen.h"
-#include "core/sense_kernel.h"
-#include "core/sensor_array.h"
+#include "core/measure_engine.h"
 
 namespace psnt::core {
-
-struct ThermometerConfig {
-  // Control/system clock of the CUT the sensor runs at. The paper's control
-  // critical path is 1.22 ns, so 800 MHz (1250 ps) is a comfortable choice.
-  Picoseconds control_period{1250.0};
-  // Nominal supply feeding the FFs, the control logic and the LOW-SENSE
-  // inverters.
-  Volt v_nominal{1.0};
-  BubblePolicy bubble_policy = BubblePolicy::kMajority;
-};
 
 class NoiseThermometer {
  public:
   NoiseThermometer(SensorArray high_sense, SensorArray low_sense,
-                   PulseGenerator pg, ThermometerConfig config);
+                   PulseGenerator pg, ThermometerConfig config)
+      : engine_(std::move(high_sense), std::move(low_sense), std::move(pg),
+                config) {}
+  explicit NoiseThermometer(BehavioralEngine engine)
+      : engine_(std::move(engine)) {}
 
-  [[nodiscard]] const SensorArray& high_sense() const { return high_sense_; }
-  [[nodiscard]] const SensorArray& low_sense() const { return low_sense_; }
-  [[nodiscard]] const PulseGenerator& pulse_generator() const { return pg_; }
-  [[nodiscard]] const ThermometerConfig& config() const { return config_; }
-  [[nodiscard]] const ControlFsm& fsm() const { return fsm_; }
+  // The backing measurement engine (the MeasureEngine-concept object every
+  // consumer layer ultimately speaks to).
+  [[nodiscard]] BehavioralEngine& engine() { return engine_; }
+  [[nodiscard]] const BehavioralEngine& engine() const { return engine_; }
+
+  [[nodiscard]] const SensorArray& high_sense() const {
+    return engine_.high_sense();
+  }
+  [[nodiscard]] const SensorArray& low_sense() const {
+    return engine_.low_sense();
+  }
+  [[nodiscard]] const PulseGenerator& pulse_generator() const {
+    return engine_.pulse_generator();
+  }
+  [[nodiscard]] const ThermometerConfig& config() const {
+    return engine_.config();
+  }
+  [[nodiscard]] const ControlFsm& fsm() const { return engine_.fsm(); }
 
   // Number of control cycles one complete measure occupies (IDLE→…→done).
-  [[nodiscard]] std::size_t transaction_cycles() const;
+  [[nodiscard]] std::size_t transaction_cycles() const {
+    return engine_.transaction_cycles();
+  }
 
   // Full transaction measuring VDD-n. `vdd` (and optional `gnd`) are the
   // noisy rails; `start` is when the controller leaves IDLE.
@@ -74,47 +80,29 @@ class NoiseThermometer {
       std::size_t count, DelayCode code);
 
   // Dynamic range of the HIGH-SENSE array at a code (Fig. 5's x-extent).
-  [[nodiscard]] DynamicRange vdd_range(DelayCode code) const;
+  [[nodiscard]] DynamicRange vdd_range(DelayCode code) const {
+    return engine_.vdd_range(code);
+  }
   // GND-n bounce range measurable at a code.
-  [[nodiscard]] DynamicRange gnd_range(DelayCode code) const;
+  [[nodiscard]] DynamicRange gnd_range(DelayCode code) const {
+    return engine_.gnd_range(code);
+  }
 
   // Encoder output for an arbitrary word (exposed for the scan chain).
   [[nodiscard]] EncodedWord encode(const ThermoWord& word) const {
-    return encoder_.encode(word);
+    return engine_.encode(word);
   }
-
-  // Fault-injection hook: runs on the raw sensed word after SENSE capture
-  // and before decode, exactly where a stuck DS node or a metastable FF
-  // corrupts the physical datapath (the decoded bin then reflects the
-  // corrupted word, as silicon would report it). Unset by default; the
-  // measure path pays one branch when unset and is bit-identical.
-  using WordHook = std::function<void(ThermoWord&)>;
-  void set_word_hook(WordHook hook) { word_hook_ = std::move(hook); }
 
   // Decodes an externally supplied word against the HIGH-SENSE ladder for
   // `code` — used by resilience voting when the published (majority) word
   // matches none of the individual vote words.
   [[nodiscard]] VoltageBin decode_vdd_word(const ThermoWord& word,
                                            DelayCode code) const {
-    return high_kernel_.decode(high_sense_, word, code, pg_.skew(code));
+    return engine_.decode(word, code);
   }
 
  private:
-  // Steps the FSM from IDLE through one transaction; returns the absolute
-  // time of the S_SNS edge.
-  Picoseconds run_fsm_transaction(Picoseconds start, DelayCode code);
-
-  SensorArray high_sense_;
-  SensorArray low_sense_;
-  PulseGenerator pg_;
-  ThermometerConfig config_;
-  ControlFsm fsm_;
-  Encoder encoder_;
-  WordHook word_hook_;
-  // Value-only caches (safe under the by-value moves this type undergoes);
-  // mutable because range queries are const but warm the per-code ladders.
-  mutable BatchedSenseKernel high_kernel_;
-  mutable BatchedSenseKernel low_kernel_;
+  BehavioralEngine engine_;
 };
 
 }  // namespace psnt::core

@@ -25,10 +25,11 @@
 //   spikes are keyed by (site, sample): a retry of the same sample sees the
 //   same rail, as real silicon would.
 //
-// The injector is a pure model with no dependency on the grid runtime; the
-// grid consumes it through narrow hook points (core::NoiseThermometer's
-// word hook, core::FullStructuralSystem's word hook, an OffsetRail wrapped
-// around the site rail, and the ring-push path).
+// The injector is a pure model with no dependency on the grid runtime; its
+// decisions reach an engine only through fault::FaultSession, which drives
+// the core::EngineContext hook surface (word hook + rail offset) shared by
+// every measurement backend. Ring-overflow storms are applied by the grid's
+// ring-push path, the one fault lane outside the engine.
 #pragma once
 
 #include <cstdint>
@@ -170,10 +171,10 @@ class FaultInjector {
   std::vector<ScheduledFault> scheduled_;
 };
 
-// Rail wrapper used as the droop-spike hook point: forwards to the wrapped
-// source plus a settable offset. The grid installs one per site when an
-// injector is attached (so the off path never pays the indirection) and sets
-// the offset to −droop_volts around each faulted measure.
+// Standalone rail wrapper: forwards to the wrapped source plus a settable
+// offset. The engine-integrated droop hook is core::ContextOffsetRail (driven
+// through fault::FaultSession); this free-standing variant remains for
+// ad-hoc rail perturbation outside an engine context.
 class OffsetRail final : public analog::RailSource {
  public:
   explicit OffsetRail(const analog::RailSource* inner) : inner_(inner) {}

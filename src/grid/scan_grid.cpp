@@ -7,10 +7,9 @@
 #include <thread>
 
 #include "calib/fit.h"
-#include "core/full_system.h"
+#include "fault/fault_session.h"
 #include "grid/spsc_ring.h"
 #include "grid/thread_pool.h"
-#include "sim/simulator.h"
 #include "util/error.h"
 
 namespace psnt::grid {
@@ -33,47 +32,23 @@ double now_seconds() {
 
 }  // namespace
 
-// Gate-level per-site model, built lazily on the worker thread so the whole
-// netlist (simulator, components, nets) stays thread-confined.
-struct StructuralModel {
-  StructuralModel(const analog::RailPair& rails, const ScanGridConfig& config)
-      : array(calib::make_paper_array(calib::calibrated().model)),
-        pg(calib::calibrated().model.pg_config()) {
-    // Long sample streams: drop per-edge debug logs (DFF history, inverter
-    // transition traces) so steady-state measures allocate nothing.
-    sim.set_instrumentation(false);
-    core::FullStructuralSystem::Config sys_config;
-    sys_config.control_period = config.thermometer.control_period;
-    sys_config.code = config.code;
-    system = std::make_unique<core::FullStructuralSystem>(
-        sim, "site", array, pg, rails, sys_config);
-  }
-
-  sim::Simulator sim;
-  core::SensorArray array;
-  core::PulseGenerator pg;
-  std::unique_ptr<core::FullStructuralSystem> system;
-};
-
 struct ScanGrid::Site {
   std::uint32_t id = 0;
   std::uint32_t index = 0;
   std::unique_ptr<analog::RailSource> vdd;
   std::unique_ptr<analog::RailSource> gnd;  // may be null (ideal ground)
-  std::unique_ptr<core::NoiseThermometer> thermometer;
-  std::unique_ptr<core::AutoRangeController> auto_range;
-  std::unique_ptr<StructuralModel> structural;  // worker-thread lazy
-  core::DelayCode code;
-  std::uint64_t code_steps = 0;
 
-  // --- fault / resilience state (idle unless the chaos path runs) -------
-  // Droop-spike hook: wraps `vdd` when an injector is attached, so the off
-  // path never pays the indirection.
-  std::unique_ptr<fault::OffsetRail> vdd_overlay;
-  // Word-corruption context read by the thermometer / structural word hook
-  // during the measure it was set for.
-  fault::MeasureFaults active_faults;
-  bool structural_configured = false;
+  // The site's measurement backend. Behavioral engines are built by the grid
+  // constructor in site order (so calibration and code-policy resolution are
+  // deterministic); structural engines are built lazily on the owning worker
+  // thread so the whole netlist stays thread-confined.
+  core::EngineHandle engine;
+  // Binds the grid's FaultInjector to this engine's context — the one
+  // fault↔engine coupling. Declared after `engine`: destroyed first, so the
+  // hook detaches before the context it points into goes away.
+  std::unique_ptr<fault::FaultSession> fault_session;
+
+  // --- degradation accounting (idle unless the chaos path runs) ---------
   bool quarantined = false;
   std::uint32_t quarantine_sample = 0;
   std::uint32_t fail_streak = 0;  // consecutive lost samples
@@ -82,13 +57,6 @@ struct ScanGrid::Site {
   std::uint64_t lost = 0;
   std::uint64_t vote_overrides = 0;
   std::vector<fault::FaultEvent> trace;
-
-  [[nodiscard]] analog::RailPair rails() const {
-    return analog::RailPair{
-        vdd_overlay ? static_cast<const analog::RailSource*>(vdd_overlay.get())
-                    : vdd.get(),
-        gnd.get()};
-  }
 };
 
 struct ScanGrid::Shard {
@@ -150,7 +118,7 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
 
   // Force the (thread-safe, but serial) calibration fit before any worker
   // can race to be first through the magic static.
-  const auto& model = calib::calibrated().model;
+  (void)calib::calibrated();
 
   // Sites are built in floorplan order on the caller thread so every
   // stochastic draw happens in a deterministic sequence per site.
@@ -163,27 +131,7 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
     site->vdd = vdd_factory(record, rng);
     PSNT_CHECK(site->vdd != nullptr, "RailFactory returned null vdd rail");
     if (gnd_factory) site->gnd = gnd_factory(record, rng);
-    if (config_.fidelity == SiteFidelity::kBehavioral) {
-      site->thermometer = std::make_unique<core::NoiseThermometer>(
-          calib::make_paper_thermometer(model, config_.thermometer));
-    }
-    if (config_.injector) {
-      // Narrow hook points, installed only when faults can strike: the rail
-      // overlay for droop spikes and the word hook for DS/FF corruption.
-      // Site pointers are stable (unique_ptr), so the hook's capture is too.
-      site->vdd_overlay = std::make_unique<fault::OffsetRail>(site->vdd.get());
-      if (site->thermometer) {
-        Site* raw = site.get();
-        site->thermometer->set_word_hook(
-            [raw](core::ThermoWord& word) { raw->active_faults.apply_word(word); });
-      }
-    }
-    if (config_.code_policy == CodePolicy::kAutoRange) {
-      core::AutoRangeConfig ar;
-      ar.initial = config_.code;
-      site->auto_range = std::make_unique<core::AutoRangeController>(ar);
-    }
-    site->code = config_.code;
+    if (config_.fidelity == SiteFidelity::kBehavioral) ensure_engine(*site);
     sites_.push_back(std::move(site));
   }
 
@@ -218,42 +166,72 @@ Picoseconds ScanGrid::sample_time(std::size_t k) const {
                      static_cast<double>(k) * config_.interval.value()};
 }
 
+void ScanGrid::ensure_engine(Site& site) {
+  if (site.engine) return;
+
+  core::EngineSiteOptions options;
+  options.fault_hooks = config_.injector != nullptr;
+  options.code_policy.initial = config_.code;
+  options.code_policy.window = config_.code_window;
+  options.code_policy.auto_range =
+      config_.code_policy == CodePolicy::kAutoRange;
+
+  const analog::RailPair rails{site.vdd.get(), site.gnd.get()};
+  const auto& model = calib::calibrated().model;
+  // The only fidelity branch in the grid: everything past construction
+  // speaks the EngineHandle contract.
+  if (config_.fidelity == SiteFidelity::kBehavioral) {
+    site.engine = core::make_behavioral_engine(
+        calib::make_paper_engine(model, config_.thermometer), rails, options);
+  } else {
+    site.engine = core::make_structural_engine(
+        calib::make_paper_array(model),
+        core::PulseGenerator{model.pg_config()}, rails,
+        config_.thermometer.control_period, options);
+  }
+  if (config_.injector) {
+    site.fault_session = std::make_unique<fault::FaultSession>(
+        config_.injector, site.id, site.engine->context());
+  }
+}
+
+void ScanGrid::observe_code_policy(Site& site, const core::ThermoWord& word) {
+  core::EngineContext& ctx = site.engine->context();
+  if (!ctx.auto_ranging()) return;
+  ctx.observe(site.engine->encode(word), word.width());
+}
+
 void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
                               Shard& shard) {
   auto& stalls = telemetry_.counter("grid.ring_stalls");
   auto& drops = telemetry_.counter("grid.samples_dropped");
   auto& produced = telemetry_.counter("grid.samples_produced");
+  ensure_engine(site);
+  core::IMeasureEngine& engine = *site.engine;
 
-  if (config_.fidelity == SiteFidelity::kStructural && !site.structural) {
-    site.structural = std::make_unique<StructuralModel>(site.rails(), config_);
-  }
-
-  std::vector<core::ThermoWord> structural_words;
-  if (config_.fidelity == SiteFidelity::kStructural) {
+  if (engine.prefers_batch()) {
     auto& sim_events = telemetry_.counter("grid.sim_events");
     auto& sim_allocs = telemetry_.counter("grid.sim_allocs");
     auto& sim_ns = telemetry_.counter("grid.structural_ns");
-    const sim::Scheduler& sched = site.structural->sim.scheduler();
-    const std::uint64_t events_before = sched.executed_events();
-    const std::uint64_t allocs_before = sched.allocation_count();
+    core::MeasureRequest req;
+    req.start = sample_time(first);
+    std::vector<core::Measurement> batch;
     const double t0 = now_seconds();
-    structural_words =
-        site.structural->system->run_measures(count, /*configure_first=*/first == 0);
+    engine.measure_batch(req, config_.interval, count, batch);
     const double batch_seconds = now_seconds() - t0;
-    const double per_sample_us =
-        batch_seconds * 1e6 / static_cast<double>(count);
-    sim_events.increment(sched.executed_events() - events_before);
-    sim_allocs.increment(sched.allocation_count() - allocs_before);
+    const core::EngineBatchStats stats = engine.take_batch_stats();
+    sim_events.increment(stats.sim_events);
+    sim_allocs.increment(stats.sim_allocs);
     // Worker-side simulation time (excludes ring/aggregator); the perf bench
     // derives its ns-per-structural-measure from this.
     sim_ns.increment(static_cast<std::uint64_t>(batch_seconds * 1e9));
+    const double per_sample_us =
+        batch_seconds * 1e6 / static_cast<double>(count);
     for (std::size_t k = 0; k < count; ++k) {
       GridSample s;
       s.site_index = site.index;
       s.sample_index = static_cast<std::uint32_t>(first + k);
-      s.measurement.timestamp = sample_time(first + k);
-      s.measurement.code = config_.code;
-      s.measurement.word = structural_words[k];
+      s.measurement = std::move(batch[k]);
       s.wall_us = per_sample_us;
       push_with_backpressure(config_.backpressure, shard.ring, s, stalls,
                              drops, produced);
@@ -266,15 +244,11 @@ void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
     GridSample s;
     s.site_index = site.index;
     s.sample_index = static_cast<std::uint32_t>(k);
-    s.measurement =
-        site.thermometer->measure_vdd(site.rails(), sample_time(k), site.code);
+    core::MeasureRequest req;
+    req.start = sample_time(k);
+    s.measurement = engine.measure(req);
     s.wall_us = (now_seconds() - t0) * 1e6;
-    if (site.auto_range) {
-      site.code = site.auto_range->observe(
-          site.thermometer->encode(s.measurement.word),
-          s.measurement.word.width());
-      site.code_steps = site.auto_range->steps_taken();
-    }
+    observe_code_policy(site, s.measurement.word);
     push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
                            produced);
   }
@@ -345,17 +319,19 @@ void apply_backoff(const ResiliencePolicy& policy, std::size_t attempt,
 
 }  // namespace
 
-// One published sample on the behavioral path: up to `votes` successful
-// measures, each with bounded retry; the published word is their bitwise
-// majority. Returns false when every attempt of every vote failed.
-bool ScanGrid::chaos_measure_behavioral(Site& site, std::size_t sample,
-                                        core::Measurement& out,
-                                        std::uint32_t& forced_stall_pushes,
-                                        ChaosCounters& counters) {
+bool ScanGrid::chaos_measure(Site& site, std::size_t sample,
+                             core::Measurement& out,
+                             std::uint32_t& forced_stall_pushes,
+                             ChaosCounters& counters) {
   const ResiliencePolicy& policy = config_.resilience;
-  const std::size_t votes = std::max<std::size_t>(1, policy.votes);
+  core::IMeasureEngine& engine = *site.engine;
+  // Voting re-measures the sample; engines that cannot (the live netlist)
+  // run a single vote. Retrying a measure re-measures either way, exactly
+  // as silicon would.
+  const std::size_t votes =
+      engine.supports_voting() ? std::max<std::size_t>(1, policy.votes) : 1;
   const std::size_t attempts_per_vote = policy.max_retries + 1;
-  const std::size_t width = site.thermometer->high_sense().bits();
+  const std::size_t width = engine.word_bits();
 
   std::vector<core::Measurement> vote_ms;
   vote_ms.reserve(votes);
@@ -366,10 +342,13 @@ bool ScanGrid::chaos_measure_behavioral(Site& site, std::size_t sample,
       const auto attempt =
           static_cast<std::uint32_t>(v * attempts_per_vote + a);
       fault::MeasureFaults f;
-      if (config_.injector) {
-        f = config_.injector->measure_faults(
-            site.id, static_cast<std::uint32_t>(sample), attempt, width);
+      if (site.fault_session) {
+        f = site.fault_session->roll(static_cast<std::uint32_t>(sample),
+                                     attempt, width);
       }
+      // Code drift is not injectable when the engine's tap is hard-selected
+      // at construction; drop the lane before it reaches the trace.
+      if (!engine.supports_code_trim()) f.code_delta = 0;
       record_fault_events(site, f, sample, attempt, counters);
       if (f.dead || f.hung) {
         if (f.hung) counters.timeouts.increment();
@@ -381,13 +360,14 @@ bool ScanGrid::chaos_measure_behavioral(Site& site, std::size_t sample,
         }
         continue;
       }
-      const core::DelayCode code = drifted_code(site.code, f.code_delta);
-      if (site.vdd_overlay) site.vdd_overlay->set_offset(-f.droop_volts);
-      site.active_faults = f;  // read by the thermometer word hook
-      core::Measurement m =
-          site.thermometer->measure_vdd(site.rails(), sample_time(sample), code);
-      site.active_faults = fault::MeasureFaults{};
-      if (site.vdd_overlay) site.vdd_overlay->set_offset(0.0);
+      core::MeasureRequest req;
+      req.start = sample_time(sample);
+      if (engine.supports_code_trim()) {
+        req.code = drifted_code(engine.context().current_code(), f.code_delta);
+      }
+      if (site.fault_session) site.fault_session->arm(f);
+      core::Measurement m = engine.measure(req);
+      if (site.fault_session) site.fault_session->disarm();
       if (a > 0) needed_retry = true;
       forced_stall_pushes = std::max(forced_stall_pushes, f.ring_stall_pushes);
       vote_ms.push_back(std::move(m));
@@ -422,7 +402,7 @@ bool ScanGrid::chaos_measure_behavioral(Site& site, std::size_t sample,
       // publish the majority word with a freshly decoded bin.
       out = std::move(vote_ms.front());
       out.word = winner;
-      out.bin = site.thermometer->decode_vdd_word(winner, out.code);
+      out.bin = engine.decode(winner, out.code);
     }
     if (overridden) {
       ++site.vote_overrides;
@@ -436,62 +416,6 @@ bool ScanGrid::chaos_measure_behavioral(Site& site, std::size_t sample,
   return true;
 }
 
-// One published sample on the gate-level path: each attempt is a real
-// PREPARE/SENSE transaction on the site's live simulation (retrying a
-// measure re-measures, exactly as silicon would). Voting and code drift are
-// behavioral-only: the PG tap is hard-selected at netlist construction.
-bool ScanGrid::chaos_measure_structural(Site& site, std::size_t sample,
-                                        core::Measurement& out,
-                                        std::uint32_t& forced_stall_pushes,
-                                        ChaosCounters& counters) {
-  const ResiliencePolicy& policy = config_.resilience;
-  if (!site.structural) {
-    site.structural = std::make_unique<StructuralModel>(site.rails(), config_);
-    Site* raw = &site;
-    site.structural->system->set_word_hook(
-        [raw](core::ThermoWord& word) { raw->active_faults.apply_word(word); });
-  }
-  const std::size_t width = site.structural->array.bits();
-
-  for (std::size_t a = 0; a <= policy.max_retries; ++a) {
-    const auto attempt = static_cast<std::uint32_t>(a);
-    fault::MeasureFaults f;
-    if (config_.injector) {
-      f = config_.injector->measure_faults(
-          site.id, static_cast<std::uint32_t>(sample), attempt, width);
-    }
-    f.code_delta = 0;  // not injectable at gate level; see above
-    record_fault_events(site, f, sample, attempt, counters);
-    if (f.dead || f.hung) {
-      if (f.hung) counters.timeouts.increment();
-      if (a < policy.max_retries) {
-        ++site.retries;
-        counters.retries.increment();
-        apply_backoff(policy, a + 1, counters.backoff_us);
-      }
-      continue;
-    }
-    if (site.vdd_overlay) site.vdd_overlay->set_offset(-f.droop_volts);
-    site.active_faults = f;
-    const auto words = site.structural->system->run_measures(
-        1, /*configure_first=*/!site.structural_configured);
-    site.structural_configured = true;
-    site.active_faults = fault::MeasureFaults{};
-    if (site.vdd_overlay) site.vdd_overlay->set_offset(0.0);
-    forced_stall_pushes = std::max(forced_stall_pushes, f.ring_stall_pushes);
-    out = core::Measurement{};
-    out.timestamp = sample_time(sample);
-    out.code = config_.code;
-    out.word = words.front();
-    if (a > 0) {
-      ++site.recovered;
-      counters.recovered.increment();
-    }
-    return true;
-  }
-  return false;
-}
-
 void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
                                     std::size_t count, Shard& shard) {
   ChaosCounters counters(telemetry_);
@@ -499,6 +423,7 @@ void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
   auto& drops = telemetry_.counter("grid.samples_dropped");
   auto& produced = telemetry_.counter("grid.samples_produced");
   const ResiliencePolicy& policy = config_.resilience;
+  ensure_engine(site);
 
   for (std::size_t k = first; k < first + count; ++k) {
     if (site.quarantined) {
@@ -509,12 +434,7 @@ void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
     const double t0 = now_seconds();
     core::Measurement m;
     std::uint32_t forced_stall_pushes = 0;
-    const bool ok =
-        config_.fidelity == SiteFidelity::kBehavioral
-            ? chaos_measure_behavioral(site, k, m, forced_stall_pushes,
-                                       counters)
-            : chaos_measure_structural(site, k, m, forced_stall_pushes,
-                                       counters);
+    const bool ok = chaos_measure(site, k, m, forced_stall_pushes, counters);
     if (!ok) {
       ++site.lost;
       counters.lost.increment();
@@ -528,11 +448,7 @@ void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
       continue;
     }
     site.fail_streak = 0;
-    if (site.auto_range) {
-      site.code = site.auto_range->observe(site.thermometer->encode(m.word),
-                                           m.word.width());
-      site.code_steps = site.auto_range->steps_taken();
-    }
+    observe_code_policy(site, m.word);
     GridSample s;
     s.site_index = site.index;
     s.sample_index = static_cast<std::uint32_t>(k);
@@ -648,8 +564,12 @@ RunResult ScanGrid::run() {
   for (std::size_t i = 0; i < sites_.size(); ++i) {
     auto& sr = result.sites[i];
     Site& site = *sites_[i];
-    sr.final_code = site.code;
-    sr.code_steps = site.code_steps;
+    if (site.engine) {
+      sr.final_code = site.engine->context().current_code();
+      sr.code_steps = site.engine->context().code_steps();
+    } else {
+      sr.final_code = config_.code;
+    }
     sr.quarantined = site.quarantined;
     sr.quarantine_sample = site.quarantine_sample;
     sr.retries = site.retries;

@@ -32,12 +32,19 @@
 //   slot stays invalid) — for telemetry-only monitoring where the consumer
 //   may fall behind.
 //
+// Measurement backends
+//   Every site measures through a core::EngineHandle (measure_engine.h).
+//   Site fidelity (behavioral model vs gate-level netlist), fault-hook
+//   installation and the delay-code policy are engine *construction
+//   parameters* — the grid's batch and chaos loops are backend-agnostic and
+//   never branch on fidelity past the one factory call per site.
+//
 // Fault injection & graceful degradation
 //   Attaching a fault::FaultInjector (ScanGridConfig::injector) routes every
-//   measure through the chaos path: deterministic sensor-level faults are
-//   applied via narrow hooks (word hooks in core::NoiseThermometer /
-//   core::FullStructuralSystem, a fault::OffsetRail around the site rail,
-//   forced-full pushes in the ring path), and the ResiliencePolicy decides
+//   measure through the chaos path: deterministic sensor-level faults reach
+//   the engine through one fault::FaultSession per site (the context word
+//   hook + rail offset — the single hook surface), plus forced-full pushes
+//   in the ring path, and the ResiliencePolicy decides
 //   recovery — bounded-backoff retry, majority vote, and site quarantine.
 //   Degradation telemetry (grid.fault.*, grid.retries, grid.samples_lost,
 //   grid.sites_quarantined, ...) flows through the TelemetryRegistry and the
@@ -48,13 +55,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analog/rail.h"
-#include "core/auto_range.h"
-#include "core/measurement.h"
-#include "core/thermometer.h"
+#include "core/measure_engine.h"
 #include "fault/fault_injector.h"
 #include "grid/resilience.h"
 #include "grid/telemetry.h"
@@ -66,17 +72,19 @@ namespace psnt::grid {
 
 enum class BackpressurePolicy { kBlockProducer, kDropNewest };
 
-// Per-site model fidelity. kBehavioral uses core::NoiseThermometer (the
-// scan-chain reference path). kStructural builds a private sim::Simulator +
-// core::FullStructuralSystem per site on its worker thread and runs real
-// gate-level PREPARE/SENSE transactions (≈1000× slower per sample; words
-// only, no voltage bins).
+// Per-site engine backend. kBehavioral uses the behavioral MeasureEngine
+// (the scan-chain reference path). kStructural builds a gate-level engine —
+// a private sim::Simulator + core::FullStructuralSystem netlist — per site
+// on its worker thread and runs real PREPARE/SENSE transactions (≈1000×
+// slower per sample). Fidelity is purely an engine construction parameter.
 enum class SiteFidelity { kBehavioral, kStructural };
 
 // How each site picks its Delay Code. kFixed uses config.code for every
-// sample; kAutoRange gives each site a core::AutoRangeController seeded at
-// config.code that re-trims after every sample (still deterministic: the
-// controller only sees the site's own sample sequence).
+// sample; kAutoRange seeds each site engine's context with an
+// AutoRangeController at config.code that re-trims after every published
+// sample (still deterministic: the controller only sees the site's own
+// sample sequence). The policy lives in the engine's EngineContext — the
+// grid only feeds published words back through it.
 enum class CodePolicy { kFixed, kAutoRange };
 
 // Builds one site's rail source, deterministically, from the site record and
@@ -95,6 +103,11 @@ struct ScanGridConfig {
   core::ThermometerConfig thermometer;
   SiteFidelity fidelity = SiteFidelity::kBehavioral;
   CodePolicy code_policy = CodePolicy::kFixed;
+  // When set, each site's starting Delay Code is resolved once at engine
+  // construction by core::tune_for_window over this window (Sec. III-A),
+  // instead of taking `code` as-is. Works for both fidelities (the
+  // structural netlist hard-selects the tuned tap).
+  std::optional<core::CodeWindow> code_window;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlockProducer;
   // Per-shard ring capacity (rounded up to a power of two).
   std::size_t ring_capacity = 256;
@@ -201,6 +214,14 @@ class ScanGrid {
   struct ChaosCounters;
 
   void worker_run_shard(Shard& shard);
+  // Builds the site's engine (and fault session) if not built yet — the ONE
+  // place the grid distinguishes site fidelities. Behavioral engines are
+  // built by the constructor in site order; structural engines lazily on
+  // their worker thread (the netlist is thread-confined).
+  void ensure_engine(Site& site);
+  // Feeds a published word back into the engine's code policy (no-op under
+  // a fixed code).
+  void observe_code_policy(Site& site, const core::ThermoWord& word);
   void run_site_batch(Site& site, std::size_t first, std::size_t count,
                       Shard& shard);
   // Fault/resilience path: per-sample retry, vote, quarantine. Selected for
@@ -208,14 +229,13 @@ class ScanGrid {
   // the plain path above stays untouched (and bit-identical) otherwise.
   void run_site_batch_chaos(Site& site, std::size_t first, std::size_t count,
                             Shard& shard);
-  bool chaos_measure_behavioral(Site& site, std::size_t sample,
-                                core::Measurement& out,
-                                std::uint32_t& forced_stall_pushes,
-                                ChaosCounters& counters);
-  bool chaos_measure_structural(Site& site, std::size_t sample,
-                                core::Measurement& out,
-                                std::uint32_t& forced_stall_pushes,
-                                ChaosCounters& counters);
+  // One published sample through the engine handle, backend-agnostic: up to
+  // `votes` successful measures (voting only when the engine supports it),
+  // each with bounded retry; the published word is their bitwise majority.
+  // Returns false when every attempt of every vote failed.
+  bool chaos_measure(Site& site, std::size_t sample, core::Measurement& out,
+                     std::uint32_t& forced_stall_pushes,
+                     ChaosCounters& counters);
   void record_fault_events(Site& site, const fault::MeasureFaults& faults,
                            std::size_t sample, std::uint32_t attempt,
                            ChaosCounters& counters);

@@ -1,8 +1,15 @@
 #include "scan/scan_chain.h"
 
+#include "core/measure_engine.h"
 #include "util/error.h"
 
 namespace psnt::scan {
+
+// The chain is the serial reference consumer of the MeasureEngine contract:
+// every site measurement below goes through the engine's prepare/sense
+// transaction, so chain words define the bit-identity baseline the parallel
+// grid is checked against.
+static_assert(core::MeasureEngine<core::BehavioralEngine>);
 
 PsnScanChain::PsnScanChain(const Floorplan& floorplan,
                            core::ThermometerConfig config)
@@ -33,10 +40,14 @@ std::vector<SiteMeasurement> PsnScanChain::broadcast_measure(
   PSNT_CHECK(!sites_.empty(), "no sites attached");
   std::vector<SiteMeasurement> out;
   out.reserve(sites_.size());
+  core::MeasureRequest req;
+  req.start = at;
+  req.target = core::SenseTarget::kVdd;
+  req.code = code;
   for (auto& site : sites_) {
     SiteMeasurement sm;
     sm.site_id = site.id;
-    sm.measurement = site.thermometer.measure_vdd(site.rails, at, code);
+    sm.measurement = site.thermometer.engine().measure(req, site.rails);
     site.latched = sm.measurement.word;
     out.push_back(std::move(sm));
   }

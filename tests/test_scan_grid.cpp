@@ -79,33 +79,47 @@ TEST(ScanGrid, DeterministicAcrossThreadCounts) {
 }
 
 TEST(ScanGrid, MatchesSerialScanChainBroadcastSiteForSite) {
+  // The refactor's load-bearing guarantee: the grid's engine-based words are
+  // bit-identical to the serial PsnScanChain reference at EVERY thread count.
   const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
-  const auto config = base_config(4);
-  ScanGrid grid{fp, config, test_rails(fp)};
-  const auto result = grid.run();
 
   // Serial reference: a PsnScanChain over the *same* rails (reconstructed
   // from the grid's published per-site RNG streams) and the same calibrated
   // thermometers, broadcast at the same schedule.
+  const auto reference_config = base_config(1);
   const auto& model = calib::calibrated().model;
   const auto factory = test_rails(fp);
-  scan::PsnScanChain chain{fp, config.thermometer};
+  scan::PsnScanChain chain{fp, reference_config.thermometer};
   std::vector<std::unique_ptr<analog::RailSource>> rails;
   for (const auto& site : fp.sites()) {
-    auto rng = ScanGrid::site_rng(config.seed, site.id);
+    auto rng = ScanGrid::site_rng(reference_config.seed, site.id);
     rails.push_back(factory(site, rng));
-    chain.attach_site(site.id, analog::RailPair{rails.back().get(), nullptr},
-                      calib::make_paper_thermometer(model, config.thermometer));
+    chain.attach_site(
+        site.id, analog::RailPair{rails.back().get(), nullptr},
+        calib::make_paper_thermometer(model, reference_config.thermometer));
+  }
+  std::vector<std::vector<core::ThermoWord>> reference;
+  for (std::size_t k = 0; k < reference_config.samples_per_site; ++k) {
+    const auto snapshot = chain.broadcast_measure(
+        Picoseconds{static_cast<double>(k) *
+                    reference_config.interval.value()},
+        reference_config.code);
+    auto& row = reference.emplace_back();
+    for (const auto& sm : snapshot) row.push_back(sm.measurement.word);
   }
 
-  for (std::size_t k = 0; k < config.samples_per_site; ++k) {
-    const auto snapshot =
-        chain.broadcast_measure(grid.sample_time(k), config.code);
-    ASSERT_EQ(snapshot.size(), result.sites.size());
-    for (std::size_t i = 0; i < snapshot.size(); ++i) {
-      EXPECT_EQ(result.sites[i].samples[k].word, snapshot[i].measurement.word)
-          << "site " << i << " sample " << k
-          << ": parallel grid diverged from the serial broadcast reference";
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    const auto config = base_config(threads);
+    ScanGrid grid{fp, config, test_rails(fp)};
+    const auto result = grid.run();
+    ASSERT_EQ(result.sites.size(), reference.front().size());
+    for (std::size_t k = 0; k < config.samples_per_site; ++k) {
+      for (std::size_t i = 0; i < result.sites.size(); ++i) {
+        EXPECT_EQ(result.sites[i].samples[k].word, reference[k][i])
+            << "threads=" << threads << " site " << i << " sample " << k
+            << ": grid diverged from the serial broadcast reference";
+      }
     }
   }
 }

@@ -53,26 +53,42 @@ TEST(SenseKernel, MeasureBitIdenticalAcrossCodesAndVoltages) {
   const auto arr = make_uniform_array();
   BatchedSenseKernel kernel{arr};
   EXPECT_TRUE(kernel.uniform());
+  std::size_t fast_covered = 0;
+  std::size_t swept = 0;
   for (std::uint8_t c = 0; c < DelayCode::kCount; ++c) {
     const auto skew = skew_for(DelayCode{c});
     for (double v = 0.30; v <= 1.60; v += 0.005) {
+      ++swept;
+      if (!kernel.fast_path(Volt{v})) continue;  // caller-gated hand-off
+      ++fast_covered;
       const ThermoWord ref = arr.measure(Volt{v}, skew);
       const ThermoWord fast = kernel.measure(arr, Volt{v}, skew);
       ASSERT_EQ(fast, ref) << "code=" << int(c) << " V=" << v;
     }
   }
+  // The guard must only exclude the at/below-threshold sliver, not gut the
+  // fast path: the sweep starts at 0.30 V against a ~0.32 V threshold.
+  EXPECT_GT(fast_covered, swept * 9 / 10);
 }
 
 TEST(SenseKernel, MeasureMatchesAtAndBelowInverterThreshold) {
-  // At/below Vt the fast path's overdrive guard must hand off to the
-  // reference implementation (which returns the all-errors word).
+  // At/below Vt the overdrive guard reports no fast path — callers must
+  // take the reference implementation (which returns the all-errors word).
+  // Calling measure() there anyway is a contract violation and throws.
   const auto arr = make_uniform_array();
   const BatchedSenseKernel kernel{arr};
   const auto skew = skew_for(DelayCode{3});
   for (const double v : {0.0, 0.1, 0.32, 0.32 + 5e-10}) {
-    EXPECT_EQ(kernel.measure(arr, Volt{v}, skew), arr.measure(Volt{v}, skew))
+    EXPECT_FALSE(kernel.fast_path(Volt{v})) << "V=" << v;
+    EXPECT_THROW((void)kernel.measure(arr, Volt{v}, skew), std::logic_error)
         << "V=" << v;
+    EXPECT_EQ(arr.measure(Volt{v}, skew).count_ones(), 0u) << "V=" << v;
   }
+  // Just above the guard margin the fast path reopens and stays identical.
+  const double v_on = 0.32 + 2e-9;
+  ASSERT_TRUE(kernel.fast_path(Volt{v_on}));
+  EXPECT_EQ(kernel.measure(arr, Volt{v_on}, skew),
+            arr.measure(Volt{v_on}, skew));
 }
 
 TEST(SenseKernel, DecodeFamilyMatchesArray) {
@@ -116,18 +132,25 @@ TEST(SenseKernel, LadderCacheSolvesOncePerCode) {
   EXPECT_EQ(kernel.ladder_solves(), 3u);
 }
 
-TEST(SenseKernel, MismatchedArrayFallsBackBitIdentically) {
+TEST(SenseKernel, MismatchedArrayNeverOffersTheFastPath) {
+  // Per-cell inverter variation: the kernel must report no fast path for
+  // every voltage (callers then take the reference array path, which the
+  // engine layer does in BehavioralEngine::sense), and refuse a forced
+  // fast-path measure outright.
   const auto arr = make_mismatched_array();
   BatchedSenseKernel kernel{arr};
   EXPECT_FALSE(kernel.uniform());
-  for (std::uint8_t c = 0; c < DelayCode::kCount; ++c) {
-    const auto skew = skew_for(DelayCode{c});
-    for (double v = 0.30; v <= 1.60; v += 0.01) {
-      ASSERT_EQ(kernel.measure(arr, Volt{v}, skew),
-                arr.measure(Volt{v}, skew))
-          << "code=" << int(c) << " V=" << v;
-    }
+  for (double v = 0.30; v <= 1.60; v += 0.01) {
+    ASSERT_FALSE(kernel.fast_path(Volt{v})) << "V=" << v;
   }
+  EXPECT_THROW((void)kernel.measure(arr, Volt{1.0}, skew_for(DelayCode{3})),
+               std::logic_error);
+  // decode/dynamic_range stay available on mismatched arrays (the ladder
+  // cache is drive-independent); only the word fast path is gated.
+  const auto skew = skew_for(DelayCode{2});
+  const ThermoWord w = arr.measure(Volt{1.0}, skew);
+  expect_same_bin(kernel.decode(arr, w, DelayCode{2}, skew),
+                  arr.decode(w, skew));
 }
 
 }  // namespace
