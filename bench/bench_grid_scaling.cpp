@@ -7,7 +7,15 @@
 // bit-identity check of every per-site thermometer code against the serial
 // scan::PsnScanChain::broadcast_measure reference — parallelism must never
 // change a single measured word.
+//
+// A second section compares the two decode paths head-to-head at one thread:
+// the streaming raw-word pipeline (workers capture, the aggregator drain
+// pass runs ENC + the shared DecodeLadder) against the legacy per-site
+// decode. Both land in BENCH_grid.json — `grid_behavioral` stays pinned to
+// DecodePath::kPerSite so the committed baseline keeps measuring the same
+// thing it always did, and `grid_streaming` gates the new default path.
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -73,50 +81,65 @@ std::vector<std::vector<core::ThermoWord>> serial_reference(
 
 void report_simcore_structural();
 
+// One decode path measured serially: 1 thread, min-of-`repeats` wall time
+// (behavioral measures are microsecond-scale, shared CI machines are noisy),
+// allocs from the least-recently-disturbed run, first run's words kept for
+// the bit-identity checks.
+struct PathRun {
+  double ns_per_measure = 0.0;
+  double allocs_per_measure = 0.0;
+  double samples_per_sec = 0.0;
+  grid::RunResult result;
+};
+
+PathRun measure_path(const scan::Floorplan& fp, grid::DecodePath path,
+                     int repeats = 3) {
+  PathRun best;
+  for (int r = 0; r < repeats; ++r) {
+    auto config = grid_config(1);
+    config.decode_path = path;
+    grid::ScanGrid g{fp, config, bench_rails(fp)};
+    const std::uint64_t allocs_before = bench::alloc_count();
+    auto run = g.run();
+    const auto allocs =
+        static_cast<double>(bench::alloc_count() - allocs_before);
+    const double ns =
+        run.wall_seconds * 1e9 / static_cast<double>(run.produced);
+    if (r == 0 || ns < best.ns_per_measure) {
+      best.ns_per_measure = ns;
+      best.samples_per_sec = run.samples_per_second;
+    }
+    best.allocs_per_measure = allocs / static_cast<double>(run.produced);
+    if (r == 0) best.result = std::move(run);
+  }
+  return best;
+}
+
 void report() {
-  bench::section("grid scaling — 16-site scan grid, samples/sec vs threads");
+  bench::section(
+      "grid scaling — 16-site scan grid, samples/sec vs threads (streaming)");
   const auto fp = scan::Floorplan::grid(4000.0, 4000.0, kRows, kCols);
   const auto reference = serial_reference(fp);
 
-  util::CsvTable table({"threads", "sites", "samples", "wall_ms",
-                        "samples_per_sec", "speedup_vs_1t", "ring_stalls",
-                        "bit_identical_to_serial"});
-  double baseline_sps = 0.0;
-  double serial_ns_per_measure = 0.0;
-  double serial_allocs_per_measure = 0.0;
-  bool all_identical = true;
-  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    // Behavioral measures are microsecond-scale; repeat the serial row and
-    // keep the least-disturbed run — that's the gated baseline number.
-    const int repeats = threads == 1 ? 3 : 1;
-    grid::RunResult result;
-    for (int r = 0; r < repeats; ++r) {
-      grid::ScanGrid g{fp, grid_config(threads), bench_rails(fp)};
-      const std::uint64_t allocs_before = bench::alloc_count();
-      auto run = g.run();
-      const auto allocs =
-          static_cast<double>(bench::alloc_count() - allocs_before);
-      if (threads == 1) {
-        const double ns =
-            run.wall_seconds * 1e9 / static_cast<double>(run.produced);
-        if (r == 0 || ns < serial_ns_per_measure) serial_ns_per_measure = ns;
-        serial_allocs_per_measure =
-            allocs / static_cast<double>(run.produced);
-      }
-      if (r == 0) {
-        if (threads == 1) baseline_sps = run.samples_per_second;
-        result = std::move(run);
-      }
-    }
-
+  const auto identical_to_reference = [&](const grid::RunResult& result) {
     bool identical = true;
     for (std::size_t i = 0; i < result.sites.size(); ++i) {
       for (std::size_t k = 0; k < kSamples; ++k) {
         identical &= result.sites[i].samples[k].word == reference[i][k];
       }
     }
-    all_identical &= identical;
+    return identical;
+  };
 
+  // Thread sweep on the default (streaming) decode path.
+  util::CsvTable table({"threads", "sites", "samples", "wall_ms",
+                        "samples_per_sec", "speedup_vs_1t", "ring_stalls",
+                        "bit_identical_to_serial"});
+  double baseline_sps = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    grid::ScanGrid g{fp, grid_config(threads), bench_rails(fp)};
+    const auto result = g.run();
+    if (threads == 1) baseline_sps = result.samples_per_second;
     table.new_row()
         .add(static_cast<long long>(threads))
         .add(static_cast<long long>(fp.site_count()))
@@ -127,30 +150,87 @@ void report() {
                                 : 0.0,
              3)
         .add(static_cast<long long>(result.ring_stalls))
-        .add(identical ? "yes" : "NO");
+        .add(identical_to_reference(result) ? "yes" : "NO");
   }
   bench::print_table(table);
-
-  // Behavioral-grid perf baseline → BENCH_grid.json, gated by
-  // bench/check_bench_regression.py exactly like BENCH_simcore.json.
-  // ns_per_measure is the serial (1-thread) end-to-end cost per published
-  // sample through the engine layer; allocs_per_measure counts every
-  // operator-new in the process across that run (engine construction
-  // amortised over sites × samples).
-  bench::JsonReport grid_json{"BENCH_grid.json"};
-  grid_json.set("grid_behavioral", "ns_per_measure", serial_ns_per_measure);
-  grid_json.set("grid_behavioral", "allocs_per_measure",
-                serial_allocs_per_measure);
-  grid_json.set("grid_behavioral", "samples_per_sec_1t", baseline_sps);
-  grid_json.set("grid_behavioral", "bit_identical_to_serial",
-                all_identical ? 1.0 : 0.0);
-  grid_json.write();
   bench::note("hardware_concurrency=" +
               std::to_string(std::thread::hardware_concurrency()) +
               "; speedup tracks physical cores — runs on a single-core "
               "machine serialise and report ~1.0x");
   bench::note("bit_identical_to_serial must read 'yes' in every row: the "
               "runtime guarantees thread count never changes a measurement");
+
+  // Head-to-head: streaming drain-pass ENC vs legacy per-site decode, both
+  // at 1 thread on the same 16-site × 96-sample batch.
+  bench::section("grid decode paths — streaming drain-pass ENC vs per-site");
+  const auto streaming = measure_path(fp, grid::DecodePath::kStreaming);
+  const auto per_site = measure_path(fp, grid::DecodePath::kPerSite);
+
+  bool paths_identical = true;
+  for (std::size_t i = 0; i < streaming.result.sites.size(); ++i) {
+    for (std::size_t k = 0; k < kSamples; ++k) {
+      const auto& a = streaming.result.sites[i].samples[k];
+      const auto& b = per_site.result.sites[i].samples[k];
+      paths_identical &= a.word == b.word;
+      paths_identical &= a.bin.lo == b.bin.lo && a.bin.hi == b.bin.hi;
+    }
+  }
+  const bool streaming_serial_ok = identical_to_reference(streaming.result);
+  const bool per_site_serial_ok = identical_to_reference(per_site.result);
+
+  util::CsvTable cmp({"decode_path", "ns_per_measure", "allocs_per_measure",
+                      "samples_per_sec_1t", "bit_identical_to_serial"});
+  cmp.new_row()
+      .add("streaming")
+      .add(streaming.ns_per_measure, 2)
+      .add(streaming.allocs_per_measure, 3)
+      .add(streaming.samples_per_sec, 2)
+      .add(streaming_serial_ok ? "yes" : "NO");
+  cmp.new_row()
+      .add("per_site")
+      .add(per_site.ns_per_measure, 2)
+      .add(per_site.allocs_per_measure, 3)
+      .add(per_site.samples_per_sec, 2)
+      .add(per_site_serial_ok ? "yes" : "NO");
+  bench::print_table(cmp);
+  {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "streaming vs per-site: %.2fx on ns/measure, words+bins "
+                  "bit-identical=%s",
+                  per_site.ns_per_measure / streaming.ns_per_measure,
+                  paths_identical ? "yes" : "NO");
+    bench::note(line);
+  }
+
+  // Behavioral-grid perf baselines → BENCH_grid.json, gated by
+  // bench/check_bench_regression.py exactly like BENCH_simcore.json.
+  // ns_per_measure is the serial (1-thread) end-to-end cost per published
+  // sample through the engine layer; allocs_per_measure counts every
+  // operator-new in the process across that run (engine construction
+  // amortised over sites × samples). `grid_behavioral` keeps the legacy
+  // per-site decode path so the history of the committed number stays
+  // comparable; `grid_streaming` is the new default pipeline.
+  bench::JsonReport grid_json{"BENCH_grid.json"};
+  grid_json.set("grid_behavioral", "ns_per_measure", per_site.ns_per_measure);
+  grid_json.set("grid_behavioral", "allocs_per_measure",
+                per_site.allocs_per_measure);
+  grid_json.set("grid_behavioral", "samples_per_sec_1t",
+                per_site.samples_per_sec);
+  grid_json.set("grid_behavioral", "bit_identical_to_serial",
+                per_site_serial_ok ? 1.0 : 0.0);
+  grid_json.set("grid_streaming", "ns_per_measure", streaming.ns_per_measure);
+  grid_json.set("grid_streaming", "allocs_per_measure",
+                streaming.allocs_per_measure);
+  grid_json.set("grid_streaming", "samples_per_sec_1t",
+                streaming.samples_per_sec);
+  grid_json.set("grid_streaming", "bit_identical_to_serial",
+                streaming_serial_ok ? 1.0 : 0.0);
+  grid_json.set("grid_streaming", "bit_identical_to_per_site",
+                paths_identical ? 1.0 : 0.0);
+  grid_json.set("grid_streaming", "speedup_vs_per_site",
+                per_site.ns_per_measure / streaming.ns_per_measure);
+  grid_json.write();
   report_simcore_structural();
 }
 

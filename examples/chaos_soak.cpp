@@ -10,6 +10,11 @@
 // full telemetry registry. Because the injector is a pure counter-hash of
 // (seed, site, sample, attempt), rerunning this binary reproduces the same
 // storm, the same traces, and the same words at any thread count.
+//
+// Note on decode paths: attaching an injector activates the chaos loop,
+// which forces the legacy per-site decode (DecodePath::kPerSite) — the
+// retry/vote/quarantine machinery consumes decoded bins at the point of each
+// recovery decision, so the streaming drain-pass ENC does not apply here.
 #include <cstdio>
 #include <iostream>
 #include <map>

@@ -3,11 +3,13 @@
 //
 // A 4×4 grid of sensor sites over one die, local rails derived from a solved
 // first-droop PDN waveform (corner sites droop harder), sampled by the
-// grid::ScanGrid runtime on a thread pool. Worker results stream through the
-// SPSC rings into the aggregator; this example then prints the runtime's
-// telemetry (throughput counters, latency/value histograms, per-site
-// rollups), renders the die voltage map, and exports the telemetry snapshot
-// to CSV — the artefacts an operator dashboard would scrape.
+// grid::ScanGrid runtime on a thread pool. Workers ship capture-only raw
+// words through the SPSC rings (the default streaming DecodePath); the
+// aggregator's drain pass runs ENC + voltage conversion and tallies the
+// grid.enc.* statistics. This example then prints the runtime's telemetry
+// (throughput counters, drain-pass ENC stats, latency/value histograms,
+// per-site rollups), renders the die voltage map, and exports the telemetry
+// snapshot to CSV — the artefacts an operator dashboard would scrape.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -59,6 +61,17 @@ int main() {
               result.wall_seconds * 1e3, result.samples_per_second,
               static_cast<unsigned long long>(result.ring_stalls),
               static_cast<unsigned long long>(result.dropped));
+
+  std::printf("drain-pass ENC: %llu words (%llu underflow, %llu overflow, "
+              "%llu bubbled)\n\n",
+              static_cast<unsigned long long>(
+                  grid.telemetry().counter("grid.enc.words").value()),
+              static_cast<unsigned long long>(
+                  grid.telemetry().counter("grid.enc.underflows").value()),
+              static_cast<unsigned long long>(
+                  grid.telemetry().counter("grid.enc.overflows").value()),
+              static_cast<unsigned long long>(
+                  grid.telemetry().counter("grid.enc.bubbled_words").value()));
 
   grid.telemetry().write_text(std::cout);
 

@@ -217,4 +217,9 @@ core::NoiseThermometer make_paper_thermometer(const CalibratedModel& model,
   return core::NoiseThermometer{make_paper_engine(model, config)};
 }
 
+core::DecodeLadder make_paper_decode_ladder(const CalibratedModel& model) {
+  return core::DecodeLadder{make_paper_array(model),
+                            core::PulseGenerator{model.pg_config()}};
+}
+
 }  // namespace psnt::calib

@@ -27,6 +27,7 @@
 #include "calib/anchors.h"
 #include "core/pulse_gen.h"
 #include "core/sensor_array.h"
+#include "core/streaming_encoder.h"
 #include "core/thermometer.h"
 
 namespace psnt::calib {
@@ -85,5 +86,13 @@ void write_calibration_report(std::ostream& os, const FitResult& fit);
 // Complete thermometer wired with the calibrated arrays and PG.
 [[nodiscard]] core::NoiseThermometer make_paper_thermometer(
     const CalibratedModel& model, core::ThermometerConfig config = {});
+
+// Immutable per-code decode ladders for the calibrated HIGH-SENSE array:
+// bit-identical to make_paper_engine's VDD decode (and to the structural
+// backend's kernel decode, which uses the same array + PG). This is the
+// aggregator-side voltage conversion of the streaming raw-word pipeline —
+// build once, share read-only across threads.
+[[nodiscard]] core::DecodeLadder make_paper_decode_ladder(
+    const CalibratedModel& model);
 
 }  // namespace psnt::calib

@@ -27,8 +27,12 @@ struct EncodedWord {
   std::uint8_t binary = 0;       // same value, as the OUTE bus contents
   bool valid = true;             // false when kReject saw a bubble
   std::uint8_t bubble_errors = 0;
-  bool underflow = false;        // all errors: value below range
-  bool overflow = false;         // no errors: value above range
+  // Range flags, paired by the encoded count (a word bit is 1 = "no error",
+  // thermo_code.h). The reading saturates LOW when every cell errored and
+  // HIGH when none did — tests/test_encoder.cpp pins this pairing against
+  // the decode path's below_range()/above_range().
+  bool underflow = false;  // count == 0 (every cell in error): value below range
+  bool overflow = false;   // count == width (no cell in error): value above range
 };
 
 class Encoder {

@@ -158,6 +158,16 @@ Measurement BehavioralEngine::measure(const MeasureRequest& req,
   return m;
 }
 
+RawSample BehavioralEngine::measure_raw(const MeasureRequest& req,
+                                        const analog::RailPair& rails) {
+  RawSample raw;
+  raw.timestamp = prepare(req);
+  raw.target = pending_target_;
+  raw.code = pending_code_;
+  raw.word = sense(rails, raw.code);
+  return raw;
+}
+
 VoltageBin BehavioralEngine::decode(const ThermoWord& word,
                                     DelayCode code) const {
   return high_kernel_.decode(high_sense_, word, code, pg_.skew(code));
@@ -197,6 +207,31 @@ void IMeasureEngine::measure_batch(const MeasureRequest& first,
   }
 }
 
+RawSample IMeasureEngine::measure_raw(const MeasureRequest& req) {
+  // Fallback for backends without the raw capability: run the full measure
+  // and drop the bin. Correct, but pays the decode — hot-path callers gate
+  // on supports_raw_samples() instead.
+  const Measurement m = measure(req);
+  RawSample raw;
+  raw.timestamp = m.timestamp;
+  raw.target = m.target;
+  raw.code = m.code;
+  raw.word = m.word;
+  return raw;
+}
+
+void IMeasureEngine::measure_raw_batch(const MeasureRequest& first,
+                                       Picoseconds interval, std::size_t count,
+                                       std::vector<RawSample>& out) {
+  out.reserve(out.size() + count);
+  MeasureRequest req = first;
+  for (std::size_t k = 0; k < count; ++k) {
+    req.start = Picoseconds{first.start.value() +
+                            static_cast<double>(k) * interval.value()};
+    out.push_back(measure_raw(req));
+  }
+}
+
 namespace {
 
 class BehavioralEngineHandle final : public IMeasureEngine {
@@ -217,6 +252,10 @@ class BehavioralEngineHandle final : public IMeasureEngine {
   }
   Measurement measure(const MeasureRequest& req) override {
     return engine_.measure(req, rails_);
+  }
+  [[nodiscard]] bool supports_raw_samples() const override { return true; }
+  RawSample measure_raw(const MeasureRequest& req) override {
+    return engine_.measure_raw(req, rails_);
   }
   VoltageBin decode(const ThermoWord& word, DelayCode code) override {
     return engine_.decode(word, code);
@@ -291,6 +330,25 @@ class StructuralEngineHandle final : public IMeasureEngine {
   [[nodiscard]] bool supports_code_trim() const override { return false; }
   [[nodiscard]] bool supports_voting() const override { return false; }
 
+  [[nodiscard]] bool supports_raw_samples() const override { return true; }
+  RawSample measure_raw(const MeasureRequest& req) override {
+    const auto words = run_words(1);
+    return to_raw(req.start, words.front());
+  }
+  void measure_raw_batch(const MeasureRequest& first, Picoseconds interval,
+                         std::size_t count,
+                         std::vector<RawSample>& out) override {
+    // The big win for the netlist backend: one simulator run for the whole
+    // batch and zero per-word decode — the drain pass owns ENC + voltage.
+    const auto words = run_words(count);
+    out.reserve(out.size() + count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const Picoseconds at{first.start.value() +
+                           static_cast<double>(k) * interval.value()};
+      out.push_back(to_raw(at, words[k]));
+    }
+  }
+
   VoltageBin decode(const ThermoWord& word, DelayCode code) override {
     return kernel_.decode(array_, word, code, pg_.skew(code));
   }
@@ -326,6 +384,15 @@ class StructuralEngineHandle final : public IMeasureEngine {
     m.word = word;
     m.bin = decode(word, code_);
     return m;
+  }
+
+  [[nodiscard]] RawSample to_raw(Picoseconds at, const ThermoWord& word) const {
+    RawSample raw;
+    raw.timestamp = at;
+    raw.target = SenseTarget::kVdd;
+    raw.code = code_;
+    raw.word = word;
+    return raw;
   }
 
   sim::Simulator sim_;

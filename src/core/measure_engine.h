@@ -156,6 +156,7 @@ concept MeasureEngine =
       { e.decode(word, code) } -> std::same_as<VoltageBin>;
       { ce.encode(word) } -> std::same_as<EncodedWord>;
       { e.measure(req, rails) } -> std::same_as<Measurement>;
+      { e.measure_raw(req, rails) } -> std::same_as<RawSample>;
     };
 
 // Behavioral backend: the paper's sensor as closed-form models (alpha-power
@@ -198,6 +199,13 @@ class BehavioralEngine {
 
   // prepare + sense + decode, the full transaction.
   Measurement measure(const MeasureRequest& req, const analog::RailPair& rails);
+
+  // prepare + sense only — the Fig. 6 capture half. The word hook still
+  // applies (sense() runs it post-capture); ENC and voltage conversion are
+  // left to the downstream consumer (StreamingEncoder / DecodeLadder).
+  // site_id/sample_index are left zero for the caller to fill.
+  RawSample measure_raw(const MeasureRequest& req,
+                        const analog::RailPair& rails);
 
   // Decodes a word against the HIGH-SENSE ladder for `code`.
   [[nodiscard]] VoltageBin decode(const ThermoWord& word, DelayCode code) const;
@@ -272,6 +280,22 @@ class IMeasureEngine {
                              std::size_t count, std::vector<Measurement>& out);
   // True when measure_batch is materially cheaper than measure() in a loop.
   [[nodiscard]] virtual bool prefers_batch() const { return false; }
+
+  // --- raw-capture path (streaming pipeline) ----------------------------
+  // True when the backend can ship capture-only RawSamples, skipping ENC and
+  // voltage conversion on its own thread (the grid's streaming drain then
+  // encodes/decodes in bulk). Backends without the capability keep the
+  // legacy full-measure path; consumers must check before calling the raw
+  // entry points on a hot path (the defaults fall back to measure(), which
+  // pays the decode the caller was trying to avoid).
+  [[nodiscard]] virtual bool supports_raw_samples() const { return false; }
+  // One capture-only transaction: word + code + launch instant, no ENC, no
+  // bin. The word hook has already run. Default derives from measure().
+  virtual RawSample measure_raw(const MeasureRequest& req);
+  // Batch form of measure_raw, same schedule contract as measure_batch.
+  virtual void measure_raw_batch(const MeasureRequest& first,
+                                 Picoseconds interval, std::size_t count,
+                                 std::vector<RawSample>& out);
 
   // Per-transaction delay-code trim (auto-range, drift injection). False for
   // backends whose PG tap is hard-selected at construction (the netlist).

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "core/encoder.h"
 #include "core/thermo_code.h"
 #include "util/units.h"
 
@@ -63,5 +64,33 @@ struct Measurement {
   ThermoWord word;
   VoltageBin bin;
 };
+
+// Wire-sized capture record: what the FF array latches (Fig. 6) before the
+// ENC block runs. A site that ships RawSamples pays no per-sample encode or
+// voltage conversion on its capture path — the downstream drain pass
+// (core::StreamingEncoder + DecodeLadder) turns spans of these into
+// readings. `site_id`/`sample_index` are transport coordinates filled in by
+// the consumer that schedules the capture (the scan grid, the scan chain);
+// engines leave them zero.
+struct RawSample {
+  std::uint32_t site_id = 0;
+  std::uint32_t sample_index = 0;
+  Picoseconds timestamp{0.0};  // time of the SENSE sampling edge
+  SenseTarget target = SenseTarget::kVdd;
+  DelayCode code;
+  ThermoWord word;
+};
+
+// The downstream half of the split: one raw word after the ENC/OUTE pass.
+struct DecodedReading {
+  EncodedWord encoded;  // see encoder.h (count, validity, range flags)
+  VoltageBin bin;       // voltage interval the word decodes to
+};
+
+// Reassembles the legacy value type from its split halves. Bit-identical to
+// a Measurement produced by an engine's own measure() when `bin` came from
+// the same ladder the engine decodes with.
+[[nodiscard]] Measurement assemble_measurement(const RawSample& raw,
+                                               const VoltageBin& bin);
 
 }  // namespace psnt::core

@@ -7,7 +7,10 @@
 // the core::EngineContext hook surface:
 //
 //   * at construction it installs the context word hook (stuck-bit /
-//     metastable-flip corruption of the raw sensed word);
+//     metastable-flip corruption of the raw sensed word). The hook runs
+//     post-capture, pre-ENC, on every path — including the raw-sample
+//     streaming pipeline, whose core::RawSample carries the hooked word, so
+//     fault semantics are unchanged by where the encode later happens;
 //   * arm(faults) publishes one attempt's fault state — the word-corruption
 //     fields for the hook and the rail offset (−droop_volts) read by the
 //     engine's ContextOffsetRail view;

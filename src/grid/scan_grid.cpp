@@ -16,13 +16,33 @@ namespace psnt::grid {
 
 namespace {
 
-// One measurement in flight from a worker to the aggregator.
+// One capture in flight from a worker to the aggregator. `raw.site_id`
+// carries the grid-internal site *index* (matrix row), `raw.sample_index`
+// the column. On the streaming path `decoded` is false and the drain pass
+// owns ENC + voltage conversion; the legacy/chaos paths ship the bin they
+// already computed (`decoded` true) and the drain publishes it as-is.
 struct GridSample {
-  std::uint32_t site_index = 0;
-  std::uint32_t sample_index = 0;
-  core::Measurement measurement;
+  core::RawSample raw;
+  core::VoltageBin bin;
+  bool decoded = false;
   double wall_us = 0.0;  // producer-side wall time of the measure
 };
+
+// Legacy/chaos producer: splits an already-decoded Measurement back into the
+// wire format so both paths share one ring payload and one drain loop.
+GridSample to_grid_sample(std::uint32_t site_index, std::size_t sample_index,
+                          const core::Measurement& m) {
+  GridSample s;
+  s.raw.site_id = site_index;
+  s.raw.sample_index = static_cast<std::uint32_t>(sample_index);
+  s.raw.timestamp = m.timestamp;
+  s.raw.target = m.target;
+  s.raw.code = m.code;
+  s.raw.word = m.word;
+  s.bin = m.bin;
+  s.decoded = true;
+  return s;
+}
 
 double now_seconds() {
   return std::chrono::duration<double>(
@@ -63,6 +83,9 @@ struct ScanGrid::Shard {
   std::size_t index = 0;
   std::vector<Site*> sites;
   SpscRing<GridSample> ring;
+  // Streaming capture buffer, reused across batches. Touched only by the
+  // shard's single worker thread.
+  std::vector<core::RawSample> scratch;
   std::atomic<bool> done{false};
 
   explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
@@ -115,10 +138,18 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
   if (config_.threads == 0) config_.threads = 1;
   if (config_.batch == 0) config_.batch = 1;
   chaos_ = config_.injector != nullptr || config_.resilience.enabled();
+  // Chaos recovery (retry/vote/quarantine) consumes decoded bins at the
+  // point of the failure, so the chaos path always runs per-site decode.
+  streaming_ = config_.decode_path == DecodePath::kStreaming && !chaos_;
 
   // Force the (thread-safe, but serial) calibration fit before any worker
   // can race to be first through the magic static.
   (void)calib::calibrated();
+  if (streaming_) {
+    // Built on the constructor thread, immutable afterwards: the drain pass
+    // decodes against this instead of any engine's mutable kernel cache.
+    ladder_ = calib::make_paper_decode_ladder(calib::calibrated().model);
+  }
 
   // Sites are built in floorplan order on the caller thread so every
   // stochastic draw happens in a deterministic sequence per site.
@@ -228,10 +259,7 @@ void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
     const double per_sample_us =
         batch_seconds * 1e6 / static_cast<double>(count);
     for (std::size_t k = 0; k < count; ++k) {
-      GridSample s;
-      s.site_index = site.index;
-      s.sample_index = static_cast<std::uint32_t>(first + k);
-      s.measurement = std::move(batch[k]);
+      GridSample s = to_grid_sample(site.index, first + k, batch[k]);
       s.wall_us = per_sample_us;
       push_with_backpressure(config_.backpressure, shard.ring, s, stalls,
                              drops, produced);
@@ -241,14 +269,69 @@ void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
 
   for (std::size_t k = first; k < first + count; ++k) {
     const double t0 = now_seconds();
-    GridSample s;
-    s.site_index = site.index;
-    s.sample_index = static_cast<std::uint32_t>(k);
     core::MeasureRequest req;
     req.start = sample_time(k);
-    s.measurement = engine.measure(req);
-    s.wall_us = (now_seconds() - t0) * 1e6;
-    observe_code_policy(site, s.measurement.word);
+    const core::Measurement m = engine.measure(req);
+    const double wall_us = (now_seconds() - t0) * 1e6;
+    observe_code_policy(site, m.word);
+    GridSample s = to_grid_sample(site.index, k, m);
+    s.wall_us = wall_us;
+    push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
+                           produced);
+  }
+}
+
+void ScanGrid::run_site_batch_streaming(Site& site, std::size_t first,
+                                        std::size_t count, Shard& shard) {
+  ensure_engine(site);
+  // Per-site fallback: engines without the raw capability keep the legacy
+  // decode-in-transaction path; the drain handles both payload shapes.
+  if (!site.engine->supports_raw_samples()) {
+    run_site_batch(site, first, count, shard);
+    return;
+  }
+  auto& stalls = telemetry_.counter("grid.ring_stalls");
+  auto& drops = telemetry_.counter("grid.samples_dropped");
+  auto& produced = telemetry_.counter("grid.samples_produced");
+  core::IMeasureEngine& engine = *site.engine;
+
+  shard.scratch.clear();
+  const double t0 = now_seconds();
+  if (engine.prefers_batch()) {
+    // One backend run for the whole batch (the structural netlist), zero
+    // per-word decode anywhere on the worker.
+    core::MeasureRequest req;
+    req.start = sample_time(first);
+    engine.measure_raw_batch(req, config_.interval, count, shard.scratch);
+  } else {
+    // Per-sample captures so auto-range feedback sees every word before the
+    // next PREPARE — same trim sequence as the legacy path, hence the
+    // bit-identity guarantee extends to auto-ranged sites.
+    shard.scratch.reserve(count);
+    for (std::size_t k = first; k < first + count; ++k) {
+      core::MeasureRequest req;
+      req.start = sample_time(k);
+      shard.scratch.push_back(engine.measure_raw(req));
+      observe_code_policy(site, shard.scratch.back().word);
+    }
+  }
+  const double batch_seconds = now_seconds() - t0;
+  if (engine.prefers_batch()) {
+    const core::EngineBatchStats stats = engine.take_batch_stats();
+    telemetry_.counter("grid.sim_events").increment(stats.sim_events);
+    telemetry_.counter("grid.sim_allocs").increment(stats.sim_allocs);
+    telemetry_.counter("grid.structural_ns")
+        .increment(static_cast<std::uint64_t>(batch_seconds * 1e9));
+  }
+
+  const double per_sample_us =
+      batch_seconds * 1e6 / static_cast<double>(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    GridSample s;
+    s.raw = shard.scratch[k];
+    s.raw.site_id = site.index;
+    s.raw.sample_index = static_cast<std::uint32_t>(first + k);
+    s.wall_us = per_sample_us;
     push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
                            produced);
   }
@@ -449,10 +532,7 @@ void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
     }
     site.fail_streak = 0;
     observe_code_policy(site, m.word);
-    GridSample s;
-    s.site_index = site.index;
-    s.sample_index = static_cast<std::uint32_t>(k);
-    s.measurement = std::move(m);
+    GridSample s = to_grid_sample(site.index, k, m);
     s.wall_us = (now_seconds() - t0) * 1e6;
     push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
                            produced, forced_stall_pushes);
@@ -471,6 +551,8 @@ void ScanGrid::worker_run_shard(Shard& shard) {
     for (Site* site : shard.sites) {
       if (chaos_) {
         run_site_batch_chaos(*site, base, count, shard);
+      } else if (streaming_) {
+        run_site_batch_streaming(*site, base, count, shard);
       } else {
         run_site_batch(*site, base, count, shard);
       }
@@ -486,6 +568,12 @@ void ScanGrid::aggregate(RunResult& result) {
   auto& ones_rollup = telemetry_.site_rollup("site_word_ones", sites_.size());
   auto& depth = telemetry_.gauge("grid.ring_depth_last");
   auto& snapshots = telemetry_.counter("grid.snapshots_exported");
+
+  // The streaming ENC block lives here: every undecoded ring sample goes
+  // through this encoder (running under/overflow + bubble tallies) and the
+  // shared immutable ladder. Single-threaded by construction — the caller
+  // thread is the only drain.
+  core::StreamingEncoder enc(config_.thermometer.bubble_policy);
 
   std::uint64_t drained = 0;
   for (;;) {
@@ -507,17 +595,21 @@ void ScanGrid::aggregate(RunResult& result) {
         any = true;
         ++drained;
         drained_counter.increment();
-        auto& sr = result.sites[s.site_index];
-        sr.samples[s.sample_index] = s.measurement;
-        sr.valid[s.sample_index] = true;
+        core::VoltageBin bin = s.bin;
+        if (!s.decoded) {
+          (void)enc.encode(s.raw.word);  // grid.enc.* telemetry
+          bin = ladder_.decode(s.raw.word, s.raw.code);
+        }
+        auto& sr = result.sites[s.raw.site_id];
+        sr.samples[s.raw.sample_index] = core::assemble_measurement(s.raw, bin);
+        sr.valid[s.raw.sample_index] = true;
         latency.observe(s.wall_us);
-        const auto& bin = s.measurement.bin;
         if (bin.in_range()) volts.observe(bin.estimate().value());
         if (!bin.below_range() || !bin.above_range()) {
-          vdd_rollup.add(s.site_index, bin.estimate().value());
+          vdd_rollup.add(s.raw.site_id, bin.estimate().value());
         }
-        ones_rollup.add(s.site_index,
-                        static_cast<double>(s.measurement.word.count_ones()));
+        ones_rollup.add(s.raw.site_id,
+                        static_cast<double>(s.raw.word.count_ones()));
         if (config_.snapshot_every > 0 && !config_.snapshot_csv_path.empty() &&
             drained % config_.snapshot_every == 0) {
           if (telemetry_.export_csv(config_.snapshot_csv_path)) {
@@ -532,6 +624,16 @@ void ScanGrid::aggregate(RunResult& result) {
       if (all_done) break;
       std::this_thread::yield();
     }
+  }
+
+  // Publish the drain-pass ENC statistics once the scan is complete.
+  const core::StreamingEncodeStats& st = enc.stats();
+  if (st.words > 0) {
+    telemetry_.counter("grid.enc.words").increment(st.words);
+    telemetry_.counter("grid.enc.underflows").increment(st.underflows);
+    telemetry_.counter("grid.enc.overflows").increment(st.overflows);
+    telemetry_.counter("grid.enc.bubbled_words").increment(st.bubbled_words);
+    telemetry_.counter("grid.enc.bubble_errors").increment(st.bubble_errors);
   }
 }
 

@@ -2,9 +2,12 @@
 //
 // The paper's scan-chain usage model at datacenter scale: many independent
 // per-site sensor simulations run on a fixed-size thread pool, each site's
-// measurements stream through a bounded SPSC ring into a central aggregator
+// captures stream through a bounded SPSC ring into a central aggregator
 // that maintains telemetry (counters, latency/value histograms, per-site
-// OnlineStats rollups) and assembles the ordered result matrix.
+// OnlineStats rollups) and assembles the ordered result matrix. Under the
+// default DecodePath::kStreaming the ring carries wire-sized raw words and
+// the aggregator's drain pass owns ENC + voltage conversion — the paper's
+// capture/encode split (Fig. 6) applied to the runtime.
 //
 // Threading model
 //   * Sites are sharded round-robin across `threads` shards; each shard is
@@ -61,6 +64,7 @@
 
 #include "analog/rail.h"
 #include "core/measure_engine.h"
+#include "core/streaming_encoder.h"
 #include "fault/fault_injector.h"
 #include "grid/resilience.h"
 #include "grid/telemetry.h"
@@ -87,6 +91,29 @@ enum class SiteFidelity { kBehavioral, kStructural };
 // grid only feeds published words back through it.
 enum class CodePolicy { kFixed, kAutoRange };
 
+// Where ENC + voltage conversion run (the paper's capture/encode split,
+// Fig. 6: FF array → ENC → OUTE).
+//
+// kStreaming (default): workers ship capture-only core::RawSamples through
+// the rings; the aggregator's drain pass batch-encodes them with a
+// core::StreamingEncoder (running under/overflow + bubble telemetry,
+// grid.enc.*) and converts voltages through one shared immutable
+// core::DecodeLadder — per-site threads pay no per-sample ENC or decode.
+// Published words and bins are bit-identical to kPerSite
+// (tests/test_streaming_grid.cpp proves it at 1/2/8 threads).
+//
+// kPerSite: the legacy path — every worker decodes inside the measure
+// transaction and ships full Measurements. Kept as the fallback for engines
+// without the raw-sample capability, and forced for the whole run when the
+// chaos path is active (retry/vote/quarantine needs decoded bins at the
+// point of recovery).
+//
+// Auto-range feedback stays capture-side in BOTH modes: the paper's CNTR
+// trims the delay code on-die, and re-trimming from the drain would make
+// code selection depend on aggregator timing — breaking the (site, sample)
+// determinism guarantee.
+enum class DecodePath { kStreaming, kPerSite };
+
 // Builds one site's rail source, deterministically, from the site record and
 // the site's private RNG stream. Must be pure apart from the RNG (it may be
 // invoked from the grid constructor for every site, in site order).
@@ -103,6 +130,8 @@ struct ScanGridConfig {
   core::ThermometerConfig thermometer;
   SiteFidelity fidelity = SiteFidelity::kBehavioral;
   CodePolicy code_policy = CodePolicy::kFixed;
+  // Streaming drain-pass ENC vs legacy per-site decode; see DecodePath.
+  DecodePath decode_path = DecodePath::kStreaming;
   // When set, each site's starting Delay Code is resolved once at engine
   // construction by core::tune_for_window over this window (Sec. III-A),
   // instead of taking `code` as-is. Works for both fidelities (the
@@ -224,6 +253,11 @@ class ScanGrid {
   void observe_code_policy(Site& site, const core::ThermoWord& word);
   void run_site_batch(Site& site, std::size_t first, std::size_t count,
                       Shard& shard);
+  // Streaming capture path: ships RawSamples (no ENC, no decode) and leaves
+  // encode + voltage conversion to the aggregator drain. Falls back to
+  // run_site_batch per site when the engine lacks the raw capability.
+  void run_site_batch_streaming(Site& site, std::size_t first,
+                                std::size_t count, Shard& shard);
   // Fault/resilience path: per-sample retry, vote, quarantine. Selected for
   // the whole run when an injector is attached or the policy is non-default;
   // the plain path above stays untouched (and bit-identical) otherwise.
@@ -246,7 +280,12 @@ class ScanGrid {
   TelemetryRegistry telemetry_;
   std::vector<std::unique_ptr<Site>> sites_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  bool chaos_ = false;  // injector attached or non-default resilience
+  // Shared aggregator-side voltage conversion (streaming mode only): built
+  // once in the constructor, immutable afterwards, so the drain never
+  // touches a worker's mutable per-engine kernel caches.
+  core::DecodeLadder ladder_;
+  bool chaos_ = false;      // injector attached or non-default resilience
+  bool streaming_ = false;  // decode_path == kStreaming and not chaos
   bool ran_ = false;
 };
 

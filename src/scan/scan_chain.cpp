@@ -35,20 +35,39 @@ std::size_t PsnScanChain::word_bits() const {
   return sites_.front().thermometer.high_sense().bits();
 }
 
-std::vector<SiteMeasurement> PsnScanChain::broadcast_measure(
+std::vector<core::RawSample> PsnScanChain::broadcast_capture(
     Picoseconds at, core::DelayCode code) {
   PSNT_CHECK(!sites_.empty(), "no sites attached");
-  std::vector<SiteMeasurement> out;
+  std::vector<core::RawSample> out;
   out.reserve(sites_.size());
   core::MeasureRequest req;
   req.start = at;
   req.target = core::SenseTarget::kVdd;
   req.code = code;
   for (auto& site : sites_) {
+    core::RawSample raw = site.thermometer.engine().measure_raw(req, site.rails);
+    raw.site_id = site.id;
+    site.latched = raw.word;
+    out.push_back(raw);
+  }
+  return out;
+}
+
+std::vector<SiteMeasurement> PsnScanChain::broadcast_measure(
+    Picoseconds at, core::DelayCode code) {
+  // Capture first (all sites), then one bulk decode pass. Each word decodes
+  // against its own site's engine ladder, so per-site model differences are
+  // honored and the result matches the historical decode-in-transaction
+  // form bit-for-bit.
+  const auto raws = broadcast_capture(at, code);
+  std::vector<SiteMeasurement> out;
+  out.reserve(raws.size());
+  for (std::size_t i = 0; i < raws.size(); ++i) {
+    const core::RawSample& raw = raws[i];
     SiteMeasurement sm;
-    sm.site_id = site.id;
-    sm.measurement = site.thermometer.engine().measure(req, site.rails);
-    site.latched = sm.measurement.word;
+    sm.site_id = raw.site_id;
+    sm.measurement = core::assemble_measurement(
+        raw, sites_[i].thermometer.engine().decode(raw.word, raw.code));
     out.push_back(std::move(sm));
   }
   return out;

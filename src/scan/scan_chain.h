@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "analog/rail.h"
+#include "core/measurement.h"
 #include "core/thermometer.h"
 #include "scan/floorplan.h"
 
@@ -41,8 +42,18 @@ class PsnScanChain {
   [[nodiscard]] std::size_t attached_sites() const { return sites_.size(); }
   [[nodiscard]] std::size_t word_bits() const;
 
+  // Capture pass only — the on-die half of the protocol: every site runs
+  // PREPARE+SENSE against its local rail and latches its word into the
+  // shadow register. No ENC, no voltage conversion; `site_id` is filled in.
+  // The receiver decodes off-die (StreamingEncoder/DecodeLadder, or
+  // broadcast_measure's bulk-decode pass below).
+  std::vector<core::RawSample> broadcast_capture(Picoseconds at,
+                                                 core::DelayCode code);
+
   // Simultaneous measure at every attached site; latches the shadow register
-  // and returns the per-site results.
+  // and returns the per-site results. Implemented as broadcast_capture()
+  // followed by one bulk decode pass — bit-identical to the historical
+  // decode-inside-the-transaction form.
   std::vector<SiteMeasurement> broadcast_measure(Picoseconds at,
                                                  core::DelayCode code);
 

@@ -1,0 +1,172 @@
+// Conformance tests for the streaming raw-word pipeline: the grid's
+// drain-pass ENC + shared-ladder decode must publish the same words and bins
+// as the legacy per-site decode, at every thread count, for every backend
+// and code policy. This is the ISSUE-5 acceptance gate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "calib/fit.h"
+#include "fault/fault_injector.h"
+#include "grid/scan_grid.h"
+
+namespace psnt::grid {
+namespace {
+
+using namespace psnt::literals;
+
+ScanGridConfig base_config(std::size_t threads, DecodePath path) {
+  ScanGridConfig config;
+  config.threads = threads;
+  config.samples_per_site = 6;
+  config.start = Picoseconds{0.0};
+  config.interval = Picoseconds{10000.0};
+  config.code = core::DelayCode{3};
+  config.seed = 7;
+  config.decode_path = path;
+  return config;
+}
+
+RailFactory test_rails(const scan::Floorplan& fp) {
+  return ScanGrid::ir_gradient_rails(fp, Volt{1.01}, 0.05 / 5657.0,
+                                     {0.0, 0.0}, /*sigma_volts=*/0.004);
+}
+
+void expect_runs_identical(const RunResult& streaming,
+                           const RunResult& per_site,
+                           std::size_t samples_per_site, const char* label) {
+  ASSERT_EQ(streaming.sites.size(), per_site.sites.size());
+  for (std::size_t i = 0; i < streaming.sites.size(); ++i) {
+    const auto& a = streaming.sites[i];
+    const auto& b = per_site.sites[i];
+    EXPECT_EQ(a.final_code, b.final_code) << label << " site " << i;
+    EXPECT_EQ(a.code_steps, b.code_steps) << label << " site " << i;
+    for (std::size_t k = 0; k < samples_per_site; ++k) {
+      ASSERT_TRUE(a.valid[k] && b.valid[k]) << label << " site " << i;
+      const auto& sa = a.samples[k];
+      const auto& sb = b.samples[k];
+      EXPECT_EQ(sa.word, sb.word)
+          << label << " site " << i << " sample " << k << ": word diverged";
+      EXPECT_EQ(sa.code, sb.code) << label << " site " << i << " sample " << k;
+      EXPECT_EQ(sa.timestamp.value(), sb.timestamp.value())
+          << label << " site " << i << " sample " << k;
+      // Bins must agree to the exact double, not just the printed string:
+      // the drain ladder mirrors the kernel ladder operand-for-operand.
+      ASSERT_EQ(sa.bin.lo.has_value(), sb.bin.lo.has_value());
+      ASSERT_EQ(sa.bin.hi.has_value(), sb.bin.hi.has_value());
+      if (sa.bin.lo) EXPECT_EQ(sa.bin.lo->value(), sb.bin.lo->value());
+      if (sa.bin.hi) EXPECT_EQ(sa.bin.hi->value(), sb.bin.hi->value());
+    }
+  }
+}
+
+TEST(StreamingGrid, BitIdenticalToPerSiteDecodeAt1_2_8Threads) {
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ScanGrid streaming{fp, base_config(threads, DecodePath::kStreaming),
+                       test_rails(fp)};
+    ScanGrid per_site{fp, base_config(threads, DecodePath::kPerSite),
+                      test_rails(fp)};
+    const auto a = streaming.run();
+    const auto b = per_site.run();
+    expect_runs_identical(a, b, 6, "behavioral");
+    EXPECT_EQ(a.produced, b.produced) << "threads=" << threads;
+  }
+}
+
+TEST(StreamingGrid, AutoRangeTrimsIdenticallyOnBothPaths) {
+  // Auto-range feedback stays capture-side in streaming mode precisely so
+  // the trim sequence (and therefore every word and code) matches the
+  // legacy path sample-for-sample.
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    auto streaming_config = base_config(threads, DecodePath::kStreaming);
+    streaming_config.samples_per_site = 10;
+    streaming_config.code_policy = CodePolicy::kAutoRange;
+    auto per_site_config = streaming_config;
+    per_site_config.decode_path = DecodePath::kPerSite;
+    // 0.85 V sits outside code 011's window: the controller must walk.
+    ScanGrid streaming{fp, streaming_config,
+                       ScanGrid::constant_rails(Volt{0.85})};
+    ScanGrid per_site{fp, per_site_config,
+                      ScanGrid::constant_rails(Volt{0.85})};
+    const auto a = streaming.run();
+    const auto b = per_site.run();
+    expect_runs_identical(a, b, 10, "auto-range");
+    for (const auto& site : a.sites) EXPECT_GT(site.code_steps, 0u);
+  }
+}
+
+TEST(StreamingGrid, StructuralSitesStreamRawWords) {
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto config = base_config(1, DecodePath::kStreaming);
+  config.samples_per_site = 2;
+  config.fidelity = SiteFidelity::kStructural;
+  auto per_site_config = config;
+  per_site_config.decode_path = DecodePath::kPerSite;
+  ScanGrid streaming{fp, config, ScanGrid::constant_rails(1.0_V)};
+  ScanGrid per_site{fp, per_site_config, ScanGrid::constant_rails(1.0_V)};
+  const auto a = streaming.run();
+  const auto b = per_site.run();
+  expect_runs_identical(a, b, 2, "structural");
+  // The netlist batch really took the raw path: drain-pass ENC saw every
+  // word, and the sim telemetry still flowed.
+  EXPECT_EQ(streaming.telemetry().counter("grid.enc.words").value(), 2u * 2u);
+  EXPECT_GT(streaming.telemetry().counter("grid.sim_events").value(), 0u);
+}
+
+TEST(StreamingGrid, DrainPassEncTelemetry) {
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
+  ScanGrid streaming{fp, base_config(4, DecodePath::kStreaming),
+                     test_rails(fp)};
+  const auto result = streaming.run();
+  auto& t = streaming.telemetry();
+  // Every drained sample went through the drain-pass encoder exactly once.
+  EXPECT_EQ(t.counter("grid.enc.words").value(), result.produced);
+  EXPECT_LE(t.counter("grid.enc.underflows").value(),
+            t.counter("grid.enc.words").value());
+  EXPECT_LE(t.counter("grid.enc.overflows").value(),
+            t.counter("grid.enc.words").value());
+
+  // The legacy path never touches the streaming encoder.
+  ScanGrid per_site{fp, base_config(4, DecodePath::kPerSite), test_rails(fp)};
+  (void)per_site.run();
+  EXPECT_EQ(per_site.telemetry().counter("grid.enc.words").value(), 0u);
+}
+
+TEST(StreamingGrid, ChaosPathForcesPerSiteDecode) {
+  // Attaching an injector (even an all-zero-probability one) activates the
+  // chaos loop, which must fall back to per-site decode: recovery decisions
+  // consume decoded bins. The words still match a plain per-site run.
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto chaos_config = base_config(2, DecodePath::kStreaming);
+  chaos_config.injector =
+      std::make_shared<fault::FaultInjector>(2026, fault::FaultStormConfig{});
+  ScanGrid chaos{fp, chaos_config, test_rails(fp)};
+  ScanGrid plain{fp, base_config(2, DecodePath::kPerSite), test_rails(fp)};
+  const auto a = chaos.run();
+  const auto b = plain.run();
+  expect_runs_identical(a, b, 6, "chaos-fallback");
+  EXPECT_EQ(chaos.telemetry().counter("grid.enc.words").value(), 0u);
+}
+
+TEST(StreamingGrid, DropNewestStillAccountsForEverySample) {
+  // Backpressure semantics are unchanged by the smaller ring payload.
+  const auto fp = scan::Floorplan::grid(2000.0, 2000.0, 2, 2);
+  auto config = base_config(2, DecodePath::kStreaming);
+  config.backpressure = BackpressurePolicy::kDropNewest;
+  config.ring_capacity = 2;
+  ScanGrid grid{fp, config, test_rails(fp)};
+  const auto result = grid.run();
+  std::uint64_t valid = 0;
+  for (const auto& site : result.sites) {
+    for (bool v : site.valid) valid += v ? 1 : 0;
+  }
+  EXPECT_EQ(result.produced, 4u * 6u);
+  EXPECT_EQ(valid + result.dropped, result.produced);
+}
+
+}  // namespace
+}  // namespace psnt::grid
