@@ -17,6 +17,11 @@
 #include <sstream>
 #include <string>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 #include "util/csv.h"
 
 namespace psnt::bench {
@@ -31,6 +36,43 @@ inline void note(const std::string& text) {
 
 inline void print_table(const util::CsvTable& table) {
   table.write_pretty(std::cout);
+}
+
+// Peak resident set size of this process in megabytes (getrusage ru_maxrss,
+// which is KiB on Linux and bytes on macOS). 0 where unsupported. Monotone:
+// this is the high-water mark, so "peak after warmup == peak at exit" is the
+// fixed-memory signal the serve soak bench gates on.
+inline double peak_rss_mb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#else
+  return 0.0;
+#endif
+}
+
+// Current resident set size in megabytes via /proc/self/statm (Linux);
+// falls back to peak_rss_mb() elsewhere. Pairs taken before/after a soak
+// window measure RSS *growth*, which peak alone cannot.
+inline double current_rss_mb() {
+#if defined(__linux__)
+  std::ifstream statm("/proc/self/statm");
+  long long pages_total = 0;
+  long long pages_resident = 0;
+  if (statm >> pages_total >> pages_resident) {
+    const long page_size = sysconf(_SC_PAGESIZE);
+    return static_cast<double>(pages_resident) *
+           static_cast<double>(page_size) / (1024.0 * 1024.0);
+  }
+  return peak_rss_mb();
+#else
+  return peak_rss_mb();
+#endif
 }
 
 // Machine-readable perf baseline: a flat {"section": {"key": number}} JSON
@@ -73,6 +115,12 @@ class JsonReport {
     }
     out << "\n}\n";
     return out.good();
+  }
+
+  // Field helper: stamp the process's memory footprint into `section` so
+  // any bench can add an RSS ceiling to its baseline with one call.
+  void set_rss(const std::string& section) {
+    set(section, "rss_peak_mb", peak_rss_mb());
   }
 
  private:

@@ -1,26 +1,34 @@
 #!/usr/bin/env python3
-"""Perf-regression gate for the simulation-core benchmarks.
+"""Perf-regression gate for the benchmark baselines.
 
-Compares a freshly generated BENCH_simcore.json against the committed
-baseline and fails (exit 1) when a gated metric regressed by more than the
-threshold. Gated metrics are the lower-is-better per-measure costs:
+Compares a freshly generated bench JSON (BENCH_simcore.json, BENCH_grid.json,
+BENCH_serve.json) against the committed baseline and fails (exit 1) when a
+gated metric regressed by more than the threshold. Gated metrics are the
+lower-is-better costs:
 
-  * ns_per_measure      — simulated-thermometer measure latency
-  * allocs_per_measure  — heap allocations per measure (alloc_probe.h)
+  * ns_per_measure        — simulated-thermometer measure latency
+  * allocs_per_measure    — heap allocations per measure (alloc_probe.h)
+  * ingest_ns_per_sample  — serving-layer ingest cost under query load
+  * query_p99_us          — serving-layer query tail latency
+  * rss_peak_mb           — process peak RSS ceiling
+  * rss_growth_mb         — RSS growth across the soak window (fixed-memory
+                            stores must hold this near zero)
 
 Keys prefixed ``seed_`` are the frozen pre-optimisation reference points the
 benches embed for context; they never change at runtime and are not gated.
-Higher-is-better throughput keys (measures_per_sec, speedup_vs_seed, ...)
-are derived from the gated ones, so gating them too would double-count.
+Higher-is-better throughput keys (measures_per_sec, samples_per_sec,
+speedup_vs_seed, ...) are derived from the gated ones, so gating them too
+would double-count.
 
 Usage:
   python3 bench/check_bench_regression.py \
       --baseline BENCH_simcore.json --fresh build/BENCH_simcore.json \
-      [--threshold 0.25] [--min-allocs 1.0]
+      [--threshold 0.25] [--min-allocs 1.0] [--min-abs 1.0]
 
 ``--min-allocs``: allocs_per_measure baselines below this are compared by
 absolute delta instead of ratio (a 0.015 → 0.04 move is noise, not a 2.5x
-regression).
+regression). ``--min-abs`` applies the same rule to rss_growth_mb, whose
+baseline is ~0 by design.
 """
 
 from __future__ import annotations
@@ -30,8 +38,18 @@ import json
 import sys
 from pathlib import Path
 
-GATED_METRICS = ("ns_per_measure", "allocs_per_measure")
+GATED_METRICS = (
+    "ns_per_measure",
+    "allocs_per_measure",
+    "ingest_ns_per_sample",
+    "query_p99_us",
+    "rss_peak_mb",
+    "rss_growth_mb",
+)
 SKIP_PREFIX = "seed_"
+# Metrics whose baseline sits near zero by design: gate on absolute delta
+# (the ratio of two near-zero numbers is noise).
+ABS_DELTA_METRICS = ("allocs_per_measure", "rss_growth_mb")
 
 
 def load(path: Path) -> dict:
@@ -57,6 +75,9 @@ def main() -> int:
                         help="max allowed relative regression (default 0.25)")
     parser.add_argument("--min-allocs", type=float, default=1.0,
                         help="allocs baselines below this use absolute delta")
+    parser.add_argument("--min-abs", type=float, default=1.0,
+                        help="rss_growth baselines below this use absolute "
+                             "delta (MB)")
     args = parser.parse_args()
 
     baseline = load(args.baseline)
@@ -85,10 +106,12 @@ def main() -> int:
             new = float(fresh_metrics[metric])
             compared += 1
 
-            if metric == "allocs_per_measure" and base < args.min_allocs:
-                # Near-zero alloc baselines: ratio is meaningless, gate on
-                # the absolute climb instead.
-                regressed = new > base + args.min_allocs
+            min_abs = (args.min_allocs if metric == "allocs_per_measure"
+                       else args.min_abs)
+            if metric in ABS_DELTA_METRICS and base < min_abs:
+                # Near-zero baselines: ratio is meaningless, gate on the
+                # absolute climb instead.
+                regressed = new > base + min_abs
                 change = f"{new - base:+.3f} abs"
             else:
                 ratio = (new - base) / base if base > 0 else 0.0

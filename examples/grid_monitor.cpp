@@ -5,12 +5,14 @@
 // first-droop PDN waveform (corner sites droop harder), sampled by the
 // grid::ScanGrid runtime on a thread pool. Workers ship capture-only raw
 // words through the SPSC rings (the default streaming DecodePath); the
-// aggregator's drain pass runs ENC + voltage conversion and tallies the
-// grid.enc.* statistics. This example then prints the runtime's telemetry
-// (throughput counters, drain-pass ENC stats, latency/value histograms,
-// per-site rollups), renders the die voltage map, and exports the telemetry
-// snapshot to CSV — the artefacts an operator dashboard would scrape.
+// aggregator's drain pass runs ENC + voltage conversion, tallies the
+// grid.enc.* statistics, and feeds every decoded sample into the attached
+// serve::TelemetryStore. Reporting then goes through the store's query API
+// (DESIGN.md §13) — throughput, voltage quantiles, worst-droop leaderboard,
+// degradation — plus the runtime telemetry and the die voltage map. The old
+// CSV telemetry dump is opt-in: pass `--csv [path]` to also export it.
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
 #include <thread>
@@ -18,10 +20,26 @@
 #include "cut/scenarios.h"
 #include "grid/scan_grid.h"
 #include "scan/die_map.h"
+#include "serve/query.h"
+#include "serve/store.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psnt;
   using namespace psnt::literals;
+
+  // CSV telemetry export is opt-in (`--csv` or `--csv path`); default
+  // reporting queries the in-memory store instead.
+  std::string csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv_path = (i + 1 < argc && argv[i + 1][0] != '-')
+                     ? argv[++i]
+                     : "grid_monitor_telemetry.csv";
+    } else {
+      std::fprintf(stderr, "usage: %s [--csv [path]]\n", argv[0]);
+      return 2;
+    }
+  }
 
   const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
 
@@ -41,7 +59,14 @@ int main() {
   config.interval = Picoseconds{10000.0};
   config.code = core::DelayCode{3};
   config.seed = 2026;
-  config.snapshot_csv_path = "grid_monitor_telemetry.csv";
+  config.snapshot_csv_path = csv_path;
+
+  serve::StoreConfig store_config;
+  store_config.site_count = fp.site_count();
+  store_config.shards = 1;  // the drain is the single writer
+  store_config.v_nominal = 1.0;
+  auto store = std::make_shared<serve::TelemetryStore>(store_config);
+  config.store = store;
 
   grid::ScanGrid grid{
       fp, config,
@@ -73,6 +98,10 @@ int main() {
               static_cast<unsigned long long>(
                   grid.telemetry().counter("grid.enc.bubbled_words").value()));
 
+  // Store-backed report: what an operator dashboard would query.
+  serve::QueryEngine query(*store);
+  std::printf("%s\n", query.render_summary(5).c_str());
+
   grid.telemetry().write_text(std::cout);
 
   // Worst-droop snapshot: re-assemble the final sample of every site into a
@@ -92,7 +121,8 @@ int main() {
               map.worst_site().site_id, map.worst_site().estimate.value(),
               map.gradient().value() * 1e3);
 
-  std::printf("\ntelemetry snapshot exported to %s\n",
-              config.snapshot_csv_path.c_str());
+  if (!csv_path.empty()) {
+    std::printf("\ntelemetry snapshot exported to %s\n", csv_path.c_str());
+  }
   return 0;
 }

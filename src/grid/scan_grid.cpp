@@ -10,6 +10,7 @@
 #include "fault/fault_session.h"
 #include "grid/spsc_ring.h"
 #include "grid/thread_pool.h"
+#include "serve/store.h"
 #include "util/error.h"
 
 namespace psnt::grid {
@@ -137,6 +138,12 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
              "majority voting requires the behavioral fidelity");
   if (config_.threads == 0) config_.threads = 1;
   if (config_.batch == 0) config_.batch = 1;
+  if (config_.store) {
+    PSNT_CHECK(config_.store->config().site_count >= floorplan.site_count(),
+               "serve store is sized for fewer sites than the floorplan");
+    PSNT_CHECK(config_.store->config().shards == 1,
+               "the grid drain is a single writer; use a 1-shard store");
+  }
   chaos_ = config_.injector != nullptr || config_.resilience.enabled();
   // Chaos recovery (retry/vote/quarantine) consumes decoded bins at the
   // point of the failure, so the chaos path always runs per-site decode.
@@ -575,6 +582,37 @@ void ScanGrid::aggregate(RunResult& result) {
   // thread is the only drain.
   core::StreamingEncoder enc(config_.thermometer.bubble_policy);
 
+  // Serving layer: the drain is the store's single writer. Ingest happens
+  // per sample; the degradation mirror (resilience telemetry → store
+  // atomics) refreshes once per drain sweep, not per sample.
+  serve::TelemetryStore* store = config_.store.get();
+  Counter* serve_ingested = nullptr;
+  Counter* deg_injected = nullptr;
+  Counter* deg_retries = nullptr;
+  Counter* deg_recovered = nullptr;
+  Counter* deg_lost = nullptr;
+  Counter* deg_dropped = nullptr;
+  Counter* deg_quarantined = nullptr;
+  if (store != nullptr) {
+    serve_ingested = &telemetry_.counter("grid.serve.ingested");
+    deg_injected = &telemetry_.counter("grid.fault.injected");
+    deg_retries = &telemetry_.counter("grid.retries");
+    deg_recovered = &telemetry_.counter("grid.samples_recovered");
+    deg_lost = &telemetry_.counter("grid.samples_lost");
+    deg_dropped = &telemetry_.counter("grid.samples_dropped");
+    deg_quarantined = &telemetry_.counter("grid.sites_quarantined");
+  }
+  const auto mirror_degradation = [&] {
+    serve::DegradationStatus status;
+    status.faults_injected = deg_injected->value();
+    status.retries = deg_retries->value();
+    status.samples_recovered = deg_recovered->value();
+    status.samples_lost = deg_lost->value();
+    status.samples_dropped = deg_dropped->value();
+    status.sites_quarantined = deg_quarantined->value();
+    store->set_degradation(status);
+  };
+
   std::uint64_t drained = 0;
   for (;;) {
     // Read the done flags BEFORE the drain pass: if every worker had
@@ -603,6 +641,16 @@ void ScanGrid::aggregate(RunResult& result) {
         auto& sr = result.sites[s.raw.site_id];
         sr.samples[s.raw.sample_index] = core::assemble_measurement(s.raw, bin);
         sr.valid[s.raw.sample_index] = true;
+        if (store != nullptr) {
+          serve::IngestRecord rec;
+          rec.site = s.raw.site_id;
+          rec.timestamp = s.raw.timestamp;
+          rec.volts = bin.estimate().value();
+          rec.latency_us = s.wall_us;
+          rec.in_range = bin.in_range();
+          store->ingest(rec);
+          serve_ingested->increment();
+        }
         latency.observe(s.wall_us);
         if (bin.in_range()) volts.observe(bin.estimate().value());
         if (!bin.below_range() || !bin.above_range()) {
@@ -619,11 +667,20 @@ void ScanGrid::aggregate(RunResult& result) {
       }
       depth.set(static_cast<double>(shard->ring.size()));
     }
+    if (store != nullptr) mirror_degradation();
 
     if (!any) {
       if (all_done) break;
       std::this_thread::yield();
     }
+  }
+
+  // Final serving-layer flush: one last degradation mirror, then force a
+  // snapshot so queries after run() observe every drained sample.
+  if (store != nullptr) {
+    mirror_degradation();
+    store->publish_all();
+    telemetry_.counter("grid.serve.publishes").increment(store->publishes());
   }
 
   // Publish the drain-pass ENC statistics once the scan is complete.

@@ -72,6 +72,10 @@
 #include "stats/rng.h"
 #include "util/units.h"
 
+namespace psnt::serve {
+class TelemetryStore;
+}  // namespace psnt::serve
+
 namespace psnt::grid {
 
 enum class BackpressurePolicy { kBlockProducer, kDropNewest };
@@ -148,6 +152,16 @@ struct ScanGridConfig {
   // CSV path every `snapshot_every` drained samples (and once at the end).
   std::string snapshot_csv_path;
   std::size_t snapshot_every = 0;  // 0 = final snapshot only
+  // Always-on serving layer (null = off). When set, the aggregator's drain
+  // publishes every sample into the store — latest/windowed per-site
+  // rollups, global voltage/latency sketches, top-K droop — keyed by the
+  // grid site *index* (matrix row), and mirrors the resilience telemetry
+  // into the store's degradation status each drain sweep. The store's
+  // site_count must cover the floorplan; the drain is its single writer
+  // (the store must be configured with shards = 1 for grid use). Queries
+  // (serve::QueryEngine) run concurrently against published snapshots and
+  // never stall the drain. grid.serve.* telemetry counts the traffic.
+  std::shared_ptr<serve::TelemetryStore> store;
   // Deterministic fault injector (null = off). When null and `resilience`
   // is the default policy, the measure path is byte-for-byte the plain one
   // and every word is bit-identical to a fault-free run.

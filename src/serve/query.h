@@ -1,0 +1,76 @@
+// Query API over TelemetryStore snapshots (DESIGN.md §13).
+//
+// A QueryEngine pins one consistent StoreView (refresh() grabs a new one)
+// and answers the serving layer's read surface against it:
+//
+//   latest(site)            newest accepted reading of a site
+//   windowed(site, n)       merged stats+sketch over the site's last n
+//                           time windows (gap-aware: stale windows skipped)
+//   voltage_quantile(q) /   global distribution quantiles, merged across
+//   latency_quantile(q)     shard sketches (exact merge, error stays ≤ alpha)
+//   top_droop(k)            the k worst-droop sites across all shards
+//   degradation()           resilience mirror (retry/lost/quarantine)
+//
+// Queries only read immutable ShardSnapshots, so they run concurrently
+// with ingest without ever stalling the drain; what they observe is at
+// most `publish_every` ingests stale per shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "serve/store.h"
+
+namespace psnt::serve {
+
+// Merged view over a span of a site's time windows.
+struct WindowedStats {
+  stats::OnlineStats stats;    // Welford merge over the live windows
+  HistogramSketch sketch;      // exact bucket-merge of the window sketches
+  std::size_t windows_live = 0;  // windows that held data (≤ requested n)
+  std::uint64_t latest_epoch = WindowSlot::kNoEpoch;
+};
+
+class QueryEngine {
+ public:
+  // Grabs an initial snapshot; refresh() to observe later ingest.
+  explicit QueryEngine(const TelemetryStore& store);
+
+  void refresh();
+  [[nodiscard]] const StoreView& view() const { return view_; }
+
+  // Total ingests at snapshot-grab time (live counter, may lead the
+  // published shard snapshots by < publish_every per shard).
+  [[nodiscard]] std::uint64_t ingested() const { return view_.ingested; }
+  // Ingests covered by the published snapshots this engine reads from.
+  [[nodiscard]] std::uint64_t published_seq() const;
+
+  [[nodiscard]] std::optional<SiteLatest> latest(std::uint32_t site) const;
+  [[nodiscard]] const SiteSnapshot* site(std::uint32_t site) const;
+  [[nodiscard]] std::optional<WindowedStats> windowed(std::uint32_t site,
+                                                      std::size_t n) const;
+
+  [[nodiscard]] double voltage_quantile(double q) const;
+  [[nodiscard]] double latency_quantile(double q) const;
+  [[nodiscard]] stats::OnlineStats voltage_stats() const;
+  [[nodiscard]] stats::OnlineStats latency_stats() const;
+
+  [[nodiscard]] std::vector<TopKDroop::Entry> top_droop(std::size_t k) const;
+  [[nodiscard]] DegradationStatus degradation() const {
+    return view_.degradation;
+  }
+
+  // Operator-facing dump: throughput, quantiles, top-K droop table,
+  // degradation — what the examples print instead of a CSV dump.
+  [[nodiscard]] std::string render_summary(std::size_t top_k = 5) const;
+
+ private:
+  [[nodiscard]] HistogramSketch merged_sketch(bool voltage) const;
+
+  const TelemetryStore& store_;
+  StoreView view_;
+};
+
+}  // namespace psnt::serve

@@ -1,0 +1,189 @@
+#include "serve/store.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace psnt::serve {
+
+namespace {
+constexpr std::size_t kCacheLine = 64;
+}  // namespace
+
+// Writer-exclusive state of one ingest lane plus its published snapshot.
+// Heap-allocated and cache-line aligned so lanes never false-share.
+struct alignas(kCacheLine) TelemetryStore::Shard {
+  // --- writer-only (the shard's single ingest thread) -------------------
+  struct SiteState {
+    SiteLatest latest;
+    std::uint64_t ingested = 0;
+    std::uint64_t out_of_range = 0;
+    std::uint64_t invalid = 0;
+    WindowRing windows;
+
+    explicit SiteState(const WindowConfig& config) : windows(config) {}
+  };
+
+  std::vector<std::uint32_t> site_ids;  // global ids, ascending
+  std::vector<SiteState> sites;         // parallel to site_ids
+  HistogramSketch voltage;
+  HistogramSketch latency;
+  stats::OnlineStats voltage_stats;
+  stats::OnlineStats latency_stats;
+  TopKDroop top_droop;
+  std::uint64_t ingested = 0;
+  std::size_t until_publish = 0;
+
+  // --- shared ----------------------------------------------------------
+  // Live mirror of `ingested` (relaxed store per ingest, read anywhere).
+  std::atomic<std::uint64_t> ingested_mirror{0};
+  // Snapshot slot: the writer swaps in immutable snapshots, readers copy
+  // the pointer. The mutex guards only that assignment/copy.
+  mutable std::mutex snap_mutex;
+  std::shared_ptr<const ShardSnapshot> published;
+
+  Shard(const StoreConfig& config, std::size_t shard_index)
+      : voltage(config.voltage_sketch),
+        latency(config.latency_sketch),
+        top_droop(config.site_count, config.top_k),
+        until_publish(config.publish_every) {
+    for (std::uint32_t site = static_cast<std::uint32_t>(shard_index);
+         site < config.site_count;
+         site += static_cast<std::uint32_t>(config.shards)) {
+      site_ids.push_back(site);
+      sites.emplace_back(config.window);
+    }
+  }
+
+  [[nodiscard]] SiteState& site_state(std::uint32_t site,
+                                      std::size_t shards) {
+    // Round-robin partition: the shard's k-th site is shard + k·shards.
+    return sites[site / shards];
+  }
+};
+
+TelemetryStore::TelemetryStore(const StoreConfig& config) : config_(config) {
+  PSNT_CHECK(config_.site_count > 0, "store needs at least one site");
+  PSNT_CHECK(config_.shards > 0, "store needs at least one shard");
+  PSNT_CHECK(config_.top_k > 0, "store needs top_k >= 1");
+  config_.shards = std::min(config_.shards, config_.site_count);
+  if (config_.publish_every == 0) config_.publish_every = 1;
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(config_, s));
+  }
+}
+
+TelemetryStore::~TelemetryStore() = default;
+
+void TelemetryStore::ingest(const IngestRecord& record) {
+  PSNT_CHECK(record.site < config_.site_count, "ingest site out of range");
+  Shard& shard = *shards_[shard_of(record.site)];
+  Shard::SiteState& site = shard.site_state(record.site, config_.shards);
+
+  ++shard.ingested;
+  ++site.ingested;
+  if (!record.valid) {
+    ++site.invalid;
+  } else {
+    site.latest.seq = site.ingested;
+    site.latest.timestamp = record.timestamp;
+    site.latest.volts = record.volts;
+    site.latest.in_range = record.in_range;
+    if (!record.in_range) ++site.out_of_range;
+    site.windows.add(record.timestamp, record.volts);
+    shard.voltage.add(record.volts);
+    shard.voltage_stats.add(record.volts);
+    shard.top_droop.update(record.site, config_.v_nominal - record.volts);
+  }
+  shard.latency.add(record.latency_us);
+  shard.latency_stats.add(record.latency_us);
+  shard.ingested_mirror.store(shard.ingested, std::memory_order_relaxed);
+
+  if (--shard.until_publish == 0) {
+    shard.until_publish = config_.publish_every;
+    publish(shard_of(record.site));
+  }
+}
+
+void TelemetryStore::publish(std::size_t shard_index) {
+  Shard& shard = *shards_[shard_index];
+  auto snap = std::make_shared<ShardSnapshot>();
+  snap->seq = shard.ingested;
+  snap->voltage = shard.voltage;
+  snap->latency = shard.latency;
+  snap->voltage_stats = shard.voltage_stats;
+  snap->latency_stats = shard.latency_stats;
+  snap->top_droop = shard.top_droop.top();
+  snap->sites.reserve(shard.sites.size());
+  for (std::size_t i = 0; i < shard.sites.size(); ++i) {
+    const Shard::SiteState& s = shard.sites[i];
+    SiteSnapshot site;
+    site.site = shard.site_ids[i];
+    site.latest = s.latest;
+    site.ingested = s.ingested;
+    site.out_of_range = s.out_of_range;
+    site.invalid = s.invalid;
+    site.latest_epoch = s.windows.latest_epoch();
+    site.windows = s.windows.slots();
+    snap->sites.push_back(std::move(site));
+  }
+  {
+    const std::lock_guard<std::mutex> guard(shard.snap_mutex);
+    shard.published = std::move(snap);
+  }
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TelemetryStore::publish_all() {
+  for (std::size_t s = 0; s < shards_.size(); ++s) publish(s);
+}
+
+StoreView TelemetryStore::snapshot() const {
+  StoreView view;
+  view.shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    {
+      const std::lock_guard<std::mutex> guard(shard->snap_mutex);
+      view.shards.push_back(shard->published);
+    }
+    view.ingested += shard->ingested_mirror.load(std::memory_order_relaxed);
+  }
+  view.degradation = degradation();
+  return view;
+}
+
+void TelemetryStore::set_degradation(const DegradationStatus& status) {
+  deg_faults_.store(status.faults_injected, std::memory_order_relaxed);
+  deg_retries_.store(status.retries, std::memory_order_relaxed);
+  deg_recovered_.store(status.samples_recovered, std::memory_order_relaxed);
+  deg_lost_.store(status.samples_lost, std::memory_order_relaxed);
+  deg_dropped_.store(status.samples_dropped, std::memory_order_relaxed);
+  deg_quarantined_.store(status.sites_quarantined, std::memory_order_relaxed);
+}
+
+DegradationStatus TelemetryStore::degradation() const {
+  DegradationStatus status;
+  status.faults_injected = deg_faults_.load(std::memory_order_relaxed);
+  status.retries = deg_retries_.load(std::memory_order_relaxed);
+  status.samples_recovered = deg_recovered_.load(std::memory_order_relaxed);
+  status.samples_lost = deg_lost_.load(std::memory_order_relaxed);
+  status.samples_dropped = deg_dropped_.load(std::memory_order_relaxed);
+  status.sites_quarantined = deg_quarantined_.load(std::memory_order_relaxed);
+  return status;
+}
+
+std::uint64_t TelemetryStore::total_ingested() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->ingested_mirror.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TelemetryStore::publishes() const {
+  return publishes_.load(std::memory_order_relaxed);
+}
+
+}  // namespace psnt::serve

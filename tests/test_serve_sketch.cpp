@@ -1,0 +1,145 @@
+// HistogramSketch property tests: the bounded-relative-error contract, exact
+// merge, clamping at the trackable range edges, and the zero bucket.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "serve/histogram_sketch.h"
+#include "stats/rng.h"
+
+namespace psnt::serve {
+namespace {
+
+double exact_quantile(std::vector<double> sorted, double q) {
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+// Core contract: for values inside the trackable range, every quantile
+// estimate is within alpha relative error of the exact order statistic.
+TEST(HistogramSketch, QuantileRelativeErrorBound) {
+  const SketchConfig config{0.01, 0.5, 160};
+  HistogramSketch sketch{config};
+  stats::Xoshiro256 rng(42);
+
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    // Voltage-shaped stream: mostly near nominal with droop excursions.
+    const double v = rng.bernoulli(0.9) ? rng.uniform(0.9, 1.1)
+                                        : rng.uniform(0.7, 1.3);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  std::sort(values.begin(), values.end());
+
+  for (const double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double exact = exact_quantile(values, q);
+    const double est = sketch.quantile(q);
+    EXPECT_LE(std::abs(est - exact) / exact, config.alpha)
+        << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(HistogramSketch, QuantileBoundHoldsAcrossAlphas) {
+  stats::Xoshiro256 rng(7);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) values.push_back(rng.uniform(0.6, 2.0));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const double alpha : {0.005, 0.02, 0.05}) {
+    HistogramSketch sketch{SketchConfig{alpha, 0.5, 512}};
+    for (const double v : values) sketch.add(v);
+    for (double q = 0.05; q < 1.0; q += 0.05) {
+      const double exact = exact_quantile(sorted, q);
+      EXPECT_LE(std::abs(sketch.quantile(q) - exact) / exact, alpha)
+          << "alpha=" << alpha << " q=" << q;
+    }
+  }
+}
+
+// merge(a, b) must be bucket-identical to a sketch that saw both streams —
+// the property the store's per-shard / per-window publication relies on.
+TEST(HistogramSketch, MergeIsExact) {
+  const SketchConfig config{0.01, 1e-3, 128};
+  HistogramSketch a{config};
+  HistogramSketch b{config};
+  HistogramSketch both{config};
+  stats::Xoshiro256 rng(3);
+  for (int i = 0; i < 4000; ++i) {
+    const double v = rng.uniform(0.0, 3.0) - 0.05;  // some non-positive
+    if (i % 2 == 0) {
+      a.add(v);
+    } else {
+      b.add(v);
+    }
+    both.add(v);
+  }
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.zero_count(), both.zero_count());
+  EXPECT_DOUBLE_EQ(a.min(), both.min());
+  EXPECT_DOUBLE_EQ(a.max(), both.max());
+  for (std::size_t i = 0; i < config.bucket_count; ++i) {
+    EXPECT_EQ(a.bucket_count_at(i), both.bucket_count_at(i)) << "bucket " << i;
+  }
+  for (const double q : {0.01, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), both.quantile(q));
+  }
+}
+
+TEST(HistogramSketch, NonPositiveValuesLandInZeroBucket) {
+  HistogramSketch sketch{SketchConfig{0.01, 1e-3, 64}};
+  sketch.add(0.0);
+  sketch.add(-2.5);
+  sketch.add(1.0);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_EQ(sketch.zero_count(), 2u);
+  EXPECT_DOUBLE_EQ(sketch.min(), -2.5);
+  // The bottom quantiles report 0 (the zero bucket), clamped to min.
+  EXPECT_LE(sketch.quantile(0.0), 0.0);
+}
+
+TEST(HistogramSketch, ClampsOutsideTrackableRange) {
+  const SketchConfig config{0.01, 0.5, 32};  // deliberately tiny range
+  HistogramSketch sketch{config};
+  const double huge = sketch.max_trackable() * 100.0;
+  sketch.add(0.01);  // below min_value -> bucket 0
+  sketch.add(huge);  // above max_trackable -> last bucket
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_EQ(sketch.bucket_index(0.01), 0u);
+  EXPECT_EQ(sketch.bucket_index(huge), config.bucket_count - 1);
+  // Estimates stay inside the observed range even when buckets clamp.
+  EXPECT_GE(sketch.quantile(0.0), 0.01);
+  EXPECT_LE(sketch.quantile(1.0), huge);
+}
+
+TEST(HistogramSketch, EmptyAndReset) {
+  HistogramSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+  sketch.add(1.0);
+  sketch.reset();
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_DOUBLE_EQ(sketch.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+}
+
+TEST(HistogramSketch, MeanMatchesExactSum) {
+  HistogramSketch sketch{SketchConfig{0.02, 0.5, 64}};
+  double sum = 0.0;
+  stats::Xoshiro256 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.8, 1.2);
+    sum += v;
+    sketch.add(v);
+  }
+  EXPECT_NEAR(sketch.mean(), sum / 1000.0, 1e-12);  // sum is exact, not bucketed
+}
+
+}  // namespace
+}  // namespace psnt::serve
