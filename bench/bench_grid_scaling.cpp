@@ -8,12 +8,13 @@
 // scan::PsnScanChain::broadcast_measure reference — parallelism must never
 // change a single measured word.
 //
-// A second section compares the two decode paths head-to-head at one thread:
-// the streaming raw-word pipeline (workers capture, the aggregator drain
-// pass runs ENC + the shared DecodeLadder) against the legacy per-site
-// decode. Both land in BENCH_grid.json — `grid_behavioral` stays pinned to
-// DecodePath::kPerSite so the committed baseline keeps measuring the same
-// thing it always did, and `grid_streaming` gates the new default path.
+// A second section compares the three decode paths head-to-head at one
+// thread: the vectorized SoA batch capture + bulk drain (the default), the
+// PR-5 per-sample streaming pipeline, and the legacy per-site decode. All
+// land in BENCH_grid.json — `grid_behavioral` and `grid_streaming` stay
+// pinned to their historical shapes (per-sample capture, dispatch batch 8)
+// so the committed baselines keep measuring the same thing they always did;
+// `grid_batch` gates the new default path.
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -93,11 +94,13 @@ struct PathRun {
 };
 
 PathRun measure_path(const scan::Floorplan& fp, grid::DecodePath path,
-                     int repeats = 3) {
+                     bool batch_capture, std::size_t batch, int repeats = 3) {
   PathRun best;
   for (int r = 0; r < repeats; ++r) {
     auto config = grid_config(1);
     config.decode_path = path;
+    config.batch_capture = batch_capture;
+    config.batch = batch;
     grid::ScanGrid g{fp, config, bench_rails(fp)};
     const std::uint64_t allocs_before = bench::alloc_count();
     auto run = g.run();
@@ -160,26 +163,48 @@ void report() {
   bench::note("bit_identical_to_serial must read 'yes' in every row: the "
               "runtime guarantees thread count never changes a measurement");
 
-  // Head-to-head: streaming drain-pass ENC vs legacy per-site decode, both
-  // at 1 thread on the same 16-site × 96-sample batch.
-  bench::section("grid decode paths — streaming drain-pass ENC vs per-site");
-  const auto streaming = measure_path(fp, grid::DecodePath::kStreaming);
-  const auto per_site = measure_path(fp, grid::DecodePath::kPerSite);
+  // Head-to-head: the vectorized SoA batch path vs the PR-5 per-sample
+  // streaming pipeline vs the legacy per-site decode, all at 1 thread on the
+  // same 16-site × 96-sample scan. The two historical sections stay pinned
+  // to their original shape (per-sample capture, dispatch batch 8) so the
+  // committed baselines keep measuring what they always measured; the batch
+  // section runs the new defaults (batch_capture, dispatch batch 96).
+  bench::section(
+      "grid decode paths — SIMD batch vs streaming vs per-site (1 thread)");
+  const auto batch =
+      measure_path(fp, grid::DecodePath::kStreaming, true, kSamples);
+  const auto streaming =
+      measure_path(fp, grid::DecodePath::kStreaming, false, 8);
+  const auto per_site =
+      measure_path(fp, grid::DecodePath::kPerSite, false, 8);
 
-  bool paths_identical = true;
-  for (std::size_t i = 0; i < streaming.result.sites.size(); ++i) {
-    for (std::size_t k = 0; k < kSamples; ++k) {
-      const auto& a = streaming.result.sites[i].samples[k];
-      const auto& b = per_site.result.sites[i].samples[k];
-      paths_identical &= a.word == b.word;
-      paths_identical &= a.bin.lo == b.bin.lo && a.bin.hi == b.bin.hi;
+  const auto identical_runs = [&](const grid::RunResult& a,
+                                  const grid::RunResult& b) {
+    bool identical = true;
+    for (std::size_t i = 0; i < a.sites.size(); ++i) {
+      for (std::size_t k = 0; k < kSamples; ++k) {
+        const auto& sa = a.sites[i].samples[k];
+        const auto& sb = b.sites[i].samples[k];
+        identical &= sa.word == sb.word;
+        identical &= sa.bin.lo == sb.bin.lo && sa.bin.hi == sb.bin.hi;
+      }
     }
-  }
+    return identical;
+  };
+  const bool paths_identical = identical_runs(streaming.result, per_site.result);
+  const bool batch_vs_per_site = identical_runs(batch.result, per_site.result);
+  const bool batch_serial_ok = identical_to_reference(batch.result);
   const bool streaming_serial_ok = identical_to_reference(streaming.result);
   const bool per_site_serial_ok = identical_to_reference(per_site.result);
 
   util::CsvTable cmp({"decode_path", "ns_per_measure", "allocs_per_measure",
                       "samples_per_sec_1t", "bit_identical_to_serial"});
+  cmp.new_row()
+      .add("batch")
+      .add(batch.ns_per_measure, 2)
+      .add(batch.allocs_per_measure, 3)
+      .add(batch.samples_per_sec, 2)
+      .add(batch_serial_ok ? "yes" : "NO");
   cmp.new_row()
       .add("streaming")
       .add(streaming.ns_per_measure, 2)
@@ -194,12 +219,13 @@ void report() {
       .add(per_site_serial_ok ? "yes" : "NO");
   bench::print_table(cmp);
   {
-    char line[160];
+    char line[200];
     std::snprintf(line, sizeof(line),
-                  "streaming vs per-site: %.2fx on ns/measure, words+bins "
-                  "bit-identical=%s",
+                  "batch vs streaming: %.2fx; streaming vs per-site: %.2fx; "
+                  "words+bins bit-identical=%s",
+                  streaming.ns_per_measure / batch.ns_per_measure,
                   per_site.ns_per_measure / streaming.ns_per_measure,
-                  paths_identical ? "yes" : "NO");
+                  (paths_identical && batch_vs_per_site) ? "yes" : "NO");
     bench::note(line);
   }
 
@@ -230,6 +256,17 @@ void report() {
                 paths_identical ? 1.0 : 0.0);
   grid_json.set("grid_streaming", "speedup_vs_per_site",
                 per_site.ns_per_measure / streaming.ns_per_measure);
+  // `grid_batch` is the vectorized SoA capture + bulk drain (the ISSUE-7
+  // tentpole): gated on ns/measure, allocs/measure and both identity bits.
+  grid_json.set("grid_batch", "ns_per_measure", batch.ns_per_measure);
+  grid_json.set("grid_batch", "allocs_per_measure", batch.allocs_per_measure);
+  grid_json.set("grid_batch", "samples_per_sec_1t", batch.samples_per_sec);
+  grid_json.set("grid_batch", "bit_identical_to_serial",
+                batch_serial_ok ? 1.0 : 0.0);
+  grid_json.set("grid_batch", "bit_identical_to_per_site",
+                batch_vs_per_site ? 1.0 : 0.0);
+  grid_json.set("grid_batch", "speedup_vs_streaming",
+                streaming.ns_per_measure / batch.ns_per_measure);
   grid_json.write();
   report_simcore_structural();
 }

@@ -50,6 +50,14 @@ SKIP_PREFIX = "seed_"
 # Metrics whose baseline sits near zero by design: gate on absolute delta
 # (the ratio of two near-zero numbers is noise).
 ABS_DELTA_METRICS = ("allocs_per_measure", "rss_growth_mb")
+# Correctness bits (1.0 = pass) the benches embed next to their perf numbers:
+# any fresh value below 1.0 is an outright failure, independent of thresholds.
+# A section that carries the bit in the baseline must carry it fresh too.
+IDENTITY_METRICS = (
+    "bit_identical_to_serial",
+    "bit_identical_to_per_site",
+    "thread_invariant",
+)
 
 
 def load(path: Path) -> dict:
@@ -124,6 +132,23 @@ def main() -> int:
                 failures.append(
                     f"{section}.{metric}: {base:g} -> {new:g} ({change}) "
                     f"exceeds the {args.threshold:.0%} gate")
+
+        for metric in IDENTITY_METRICS:
+            if metric not in base_metrics:
+                continue
+            if metric not in fresh_metrics:
+                failures.append(f"{section}.{metric}: missing from fresh run")
+                continue
+            base = float(base_metrics[metric])
+            new = float(fresh_metrics[metric])
+            compared += 1
+            ok = new >= 1.0
+            rows.append((f"{section}.{metric}", base, new,
+                         "identity", "ok" if ok else "FAIL"))
+            if not ok:
+                failures.append(
+                    f"{section}.{metric}: correctness bit dropped to {new:g} "
+                    f"(must be 1)")
 
     name_w = max((len(r[0]) for r in rows), default=20)
     print(f"{'metric':<{name_w}}  {'baseline':>12}  {'fresh':>12}  "

@@ -82,6 +82,14 @@ class FlipFlopTimingModel {
   void set_deep_meta_resolver(DeepMetaResolver resolver,
                               Picoseconds deep_band);
 
+  // True when a Monte-Carlo resolver is installed. Sampling is then no
+  // longer a pure threshold function of the margin, so batch paths that
+  // precompute firing thresholds (core::BatchedSenseKernel's compare-only
+  // SENSE) must fall back to calling sample() per evaluation.
+  [[nodiscard]] bool has_deep_meta_resolver() const {
+    return static_cast<bool>(deep_resolver_);
+  }
+
   // Derated copy for supply droop on the *nominal* rail feeding the FF (the
   // paper notes the FFs "could be slightly affected by a PS variation").
   // factor > 1 slows setup/clk-to-q proportionally.

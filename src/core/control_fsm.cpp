@@ -97,6 +97,12 @@ FsmState next_state(FsmState current, bool enable, bool configure,
   return FsmState::kReset;
 }
 
+bool ControlFsm::fast_transaction(DelayCode code) {
+  if (state_ != FsmState::kIdle || !(code_ == code)) return false;
+  state_ = FsmState::kSenseHigh;
+  return true;
+}
+
 FsmOutputs ControlFsm::step(const FsmInputs& inputs) {
   bool done = false;
   if (state_ == FsmState::kInit) code_ = inputs.ext_code;

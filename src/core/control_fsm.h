@@ -78,6 +78,17 @@ class ControlFsm {
   // *new* state.
   FsmOutputs step(const FsmInputs& inputs);
 
+  // Steady-state shortcut for the engine hot path: from IDLE with `code`
+  // already active, the Fig. 8 walk to the SENSE edge is fixed
+  // (READY → S_PRP0 → S_PRP → S_SNS0 → S_SNS, five cycles, no configure
+  // detour), so the FSM can take it in one call — the state lands in S_SNS
+  // exactly as five step() calls would leave it, and the caller still
+  // retires the done cycle with a normal step() (which counts the measure).
+  // Returns false, touching nothing, whenever the walk would NOT be the
+  // fixed one (not parked in IDLE, or a different code): the caller must
+  // then step() through the transaction as usual.
+  [[nodiscard]] bool fast_transaction(DelayCode code);
+
   void reset();
 
  private:

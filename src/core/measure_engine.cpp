@@ -104,7 +104,16 @@ Picoseconds BehavioralEngine::prepare(const MeasureRequest& req) {
   PSNT_CHECK(!pending_, "prepare() while a transaction is already in flight");
   pending_code_ = resolve_code(req);
   pending_target_ = req.target;
-  const Picoseconds edge = run_fsm_transaction(req.start, pending_code_);
+  Picoseconds edge;
+  if (fsm_.fast_transaction(pending_code_)) {
+    // Steady state (parked in IDLE, same code): the FSM jumped straight to
+    // S_SNS. Accumulate the edge time with the same five sequential adds
+    // the stepped walk performs, so timestamps stay bit-identical.
+    edge = req.start;
+    for (int cycle = 0; cycle < 5; ++cycle) edge += config_.control_period;
+  } else {
+    edge = run_fsm_transaction(req.start, pending_code_);
+  }
   // Sense launch: the P edge leaves the PG p_delay after the S_SNS command.
   pending_launch_ = edge + pg_.p_delay();
   pending_ = true;
@@ -168,6 +177,98 @@ RawSample BehavioralEngine::measure_raw(const MeasureRequest& req,
   return raw;
 }
 
+void BehavioralEngine::capture_batch(const MeasureRequest& first,
+                                     Picoseconds interval, std::size_t count,
+                                     const analog::RailPair& rails) {
+  const DelayCode code = resolve_code(first);
+  const SenseTarget target = first.target;
+  const Picoseconds skew = pg_.skew(code);
+  const SensorArray& array =
+      target == SenseTarget::kVdd ? high_sense_ : low_sense_;
+  BatchedSenseKernel& kernel =
+      target == SenseTarget::kVdd ? high_kernel_ : low_kernel_;
+
+  batch_launch_.resize(count);
+  batch_v_.resize(count);
+  batch_words_.resize(count);
+  batch_need_scalar_.assign(count, 0);
+
+  // Capture sweep: the per-sample FSM walk and rail read, in sample order,
+  // with the identical arithmetic of a measure_raw loop (prepare() computes
+  // the launch; the done cycle is retired where sense() would retire it).
+  // Only the SENSE evaluation is deferred so it can run vectorized below.
+  MeasureRequest req = first;
+  for (std::size_t k = 0; k < count; ++k) {
+    req.start = Picoseconds{first.start.value() +
+                            static_cast<double>(k) * interval.value()};
+    const Picoseconds launch = prepare(req);
+    batch_launch_[k] = launch;
+    if (target == SenseTarget::kVdd) {
+      batch_v_[k] = rails.effective(launch).value();
+    } else {
+      PSNT_CHECK(rails.gnd != nullptr, "GND sense needs a ground rail");
+      batch_v_[k] = (config_.v_nominal - rails.gnd->at(launch)).value();
+    }
+    fsm_.step(FsmInputs{});  // the done cycle
+    pending_ = false;
+  }
+
+  // Vectorized SENSE over the whole batch; any sample the compare ladder
+  // cannot settle bit-exactly (guard band, saturation boundary, NaN) — or
+  // every sample, when the array is not vectorizable at all — re-senses
+  // through the engine's scalar selection, which is the reference.
+  const bool vectored =
+      kernel.measure_batch(array, batch_v_.data(), count, code, skew,
+                           batch_words_.data(), batch_need_scalar_.data());
+  for (std::size_t k = 0; k < count; ++k) {
+    if (!vectored || batch_need_scalar_[k] != 0) {
+      batch_words_[k] = sense_word(array, kernel, Volt{batch_v_[k]}, skew);
+    }
+  }
+  // Word hook per sample, post-capture, in sample order — the same points
+  // of the sequence sense() applies it at.
+  if (ctx_.has_word_hook()) {
+    for (std::size_t k = 0; k < count; ++k) ctx_.apply_word(batch_words_[k]);
+  }
+}
+
+void BehavioralEngine::measure_raw_batch(const MeasureRequest& first,
+                                         Picoseconds interval,
+                                         std::size_t count,
+                                         const analog::RailPair& rails,
+                                         std::vector<RawSample>& out) {
+  capture_batch(first, interval, count, rails);
+  const DelayCode code = resolve_code(first);
+  out.reserve(out.size() + count);
+  for (std::size_t k = 0; k < count; ++k) {
+    RawSample raw;
+    raw.timestamp = batch_launch_[k];
+    raw.target = first.target;
+    raw.code = code;
+    raw.word = batch_words_[k];
+    out.push_back(raw);
+  }
+}
+
+void BehavioralEngine::measure_batch(const MeasureRequest& first,
+                                     Picoseconds interval, std::size_t count,
+                                     const analog::RailPair& rails,
+                                     std::vector<Measurement>& out) {
+  capture_batch(first, interval, count, rails);
+  const DelayCode code = resolve_code(first);
+  out.reserve(out.size() + count);
+  for (std::size_t k = 0; k < count; ++k) {
+    Measurement m;
+    m.timestamp = batch_launch_[k];
+    m.target = first.target;
+    m.code = code;
+    m.word = batch_words_[k];
+    m.bin = m.target == SenseTarget::kVdd ? decode(m.word, code)
+                                          : decode_gnd_word(m.word, code);
+    out.push_back(std::move(m));
+  }
+}
+
 VoltageBin BehavioralEngine::decode(const ThermoWord& word,
                                     DelayCode code) const {
   return high_kernel_.decode(high_sense_, word, code, pg_.skew(code));
@@ -189,6 +290,17 @@ DynamicRange BehavioralEngine::gnd_range(DelayCode code) const {
   // gnd = v_nominal - v_eff: the measurable bounce window flips.
   return DynamicRange{config_.v_nominal - v.no_errors_above,
                       config_.v_nominal - v.all_errors_below};
+}
+
+void BehavioralEngine::prewarm_sense_ladders(DelayCode code) {
+  const Picoseconds skew = pg_.skew(code);
+  high_kernel_.prewarm(code, skew);
+  low_kernel_.prewarm(code, skew);
+}
+
+std::size_t BehavioralEngine::adopt_sense_ladders(const BehavioralEngine& src) {
+  return high_kernel_.adopt_ladders(src.high_kernel_) +
+         low_kernel_.adopt_ladders(src.low_kernel_);
 }
 
 // ---------------------------------------------------------------------------
@@ -253,9 +365,25 @@ class BehavioralEngineHandle final : public IMeasureEngine {
   Measurement measure(const MeasureRequest& req) override {
     return engine_.measure(req, rails_);
   }
+  void measure_batch(const MeasureRequest& first, Picoseconds interval,
+                     std::size_t count,
+                     std::vector<Measurement>& out) override {
+    engine_.measure_batch(first, interval, count, rails_, out);
+  }
+  // The vectorized SoA capture path. Auto-ranged sites must stay
+  // per-sample: the policy observes each published word before the next
+  // PREPARE, and a batch would freeze the trim sequence mid-flight.
+  [[nodiscard]] bool prefers_batch() const override {
+    return engine_.batch_capable() && !engine_.context().auto_ranging();
+  }
   [[nodiscard]] bool supports_raw_samples() const override { return true; }
   RawSample measure_raw(const MeasureRequest& req) override {
     return engine_.measure_raw(req, rails_);
+  }
+  void measure_raw_batch(const MeasureRequest& first, Picoseconds interval,
+                         std::size_t count,
+                         std::vector<RawSample>& out) override {
+    engine_.measure_raw_batch(first, interval, count, rails_, out);
   }
   VoltageBin decode(const ThermoWord& word, DelayCode code) override {
     return engine_.decode(word, code);
@@ -263,6 +391,11 @@ class BehavioralEngineHandle final : public IMeasureEngine {
   [[nodiscard]] EncodedWord encode(const ThermoWord& word) const override {
     return engine_.encode(word);
   }
+
+  // For the grid-level ladder-sharing free functions below, which need the
+  // wrapped engine's kernels behind the type-erased interface.
+  [[nodiscard]] BehavioralEngine& behavioral() { return engine_; }
+  [[nodiscard]] const BehavioralEngine& behavioral() const { return engine_; }
 
  private:
   BehavioralEngine engine_;
@@ -416,6 +549,21 @@ EngineHandle make_behavioral_engine(BehavioralEngine engine,
                                     const EngineSiteOptions& options) {
   return std::make_unique<BehavioralEngineHandle>(std::move(engine), rails,
                                                   options);
+}
+
+bool prewarm_sense_ladders(IMeasureEngine& engine, DelayCode code) {
+  auto* handle = dynamic_cast<BehavioralEngineHandle*>(&engine);
+  if (handle == nullptr) return false;
+  handle->behavioral().prewarm_sense_ladders(code);
+  return true;
+}
+
+std::size_t share_sense_ladders(IMeasureEngine& dst,
+                                const IMeasureEngine& src) {
+  auto* dst_handle = dynamic_cast<BehavioralEngineHandle*>(&dst);
+  const auto* src_handle = dynamic_cast<const BehavioralEngineHandle*>(&src);
+  if (dst_handle == nullptr || src_handle == nullptr) return 0;
+  return dst_handle->behavioral().adopt_sense_ladders(src_handle->behavioral());
 }
 
 EngineHandle make_structural_engine(const SensorArray& array,

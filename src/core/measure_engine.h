@@ -207,6 +207,38 @@ class BehavioralEngine {
   RawSample measure_raw(const MeasureRequest& req,
                         const analog::RailPair& rails);
 
+  // --- vectorized batch capture (the SoA hot path, DESIGN.md §14) -------
+  // `count` consecutive capture transactions starting at first.start spaced
+  // by `interval`, appended to `out`. Bit-identical to the equivalent
+  // measure_raw / measure loop: the FSM walk, launch instants and rail
+  // reads replay the scalar arithmetic per sample; the SENSE itself runs
+  // through BatchedSenseKernel::measure_batch (per-sample scalar fallback
+  // where the compare ladder flags a sample); the word hook then applies
+  // per sample, in sample order, post-capture. Assumes rails are pure
+  // functions of time across the batch — true for every RailSource — and
+  // that the hook does not read rail state mid-batch (the one hook
+  // installer, fault::FaultSession, never does: chaos runs per-sample
+  // measure()).
+  void measure_raw_batch(const MeasureRequest& first, Picoseconds interval,
+                         std::size_t count, const analog::RailPair& rails,
+                         std::vector<RawSample>& out);
+  void measure_batch(const MeasureRequest& first, Picoseconds interval,
+                     std::size_t count, const analog::RailPair& rails,
+                     std::vector<Measurement>& out);
+  // True when measure_raw_batch can beat the per-sample loop: the kernels'
+  // vectorized compare path is available for this array.
+  [[nodiscard]] bool batch_capable() const {
+    return high_kernel_.vectorizable();
+  }
+
+  // Scan-grid amortization hooks. The firing-ladder solve is lazy on the
+  // first batch per code (~7 bisections); a grid of identical site arrays
+  // would pay it once per site. prewarm forces the solve for `code` on both
+  // kernels now; adopt copies every table `src` has already solved when the
+  // arrays are value-identical (returns the entry count, 0 on mismatch).
+  void prewarm_sense_ladders(DelayCode code);
+  std::size_t adopt_sense_ladders(const BehavioralEngine& src);
+
   // Decodes a word against the HIGH-SENSE ladder for `code`.
   [[nodiscard]] VoltageBin decode(const ThermoWord& word, DelayCode code) const;
   // LOW-SENSE (GND-bounce) decode: v_nominal minus the HIGH ladder window.
@@ -234,6 +266,11 @@ class BehavioralEngine {
   [[nodiscard]] ThermoWord sense_word(const SensorArray& array,
                                       const BatchedSenseKernel& kernel,
                                       Volt v_eff, Picoseconds skew) const;
+  // Shared core of the batch entry points: runs `count` transactions,
+  // leaving launch instants in batch_launch_ and post-hook words in
+  // batch_words_.
+  void capture_batch(const MeasureRequest& first, Picoseconds interval,
+                     std::size_t count, const analog::RailPair& rails);
 
   SensorArray high_sense_;
   SensorArray low_sense_;
@@ -251,6 +288,12 @@ class BehavioralEngine {
   Picoseconds pending_launch_{0.0};
   DelayCode pending_code_{0};
   SenseTarget pending_target_ = SenseTarget::kVdd;
+  // SoA capture scratch, reused across batches so steady-state batch
+  // measures allocate nothing.
+  std::vector<double> batch_v_;
+  std::vector<Picoseconds> batch_launch_;
+  std::vector<ThermoWord> batch_words_;
+  std::vector<std::uint8_t> batch_need_scalar_;
 };
 
 // Per-batch simulation cost of a gate-level engine (zeros for models that
@@ -327,6 +370,15 @@ struct EngineSiteOptions {
 [[nodiscard]] EngineHandle make_behavioral_engine(BehavioralEngine engine,
                                                   analog::RailPair rails,
                                                   const EngineSiteOptions& options);
+
+// Cross-site ladder sharing over the type-erased handles (the scan grid's
+// view of its engines). prewarm_sense_ladders forces the one-time firing-
+// ladder solve for `code` on a behavioral handle; share_sense_ladders adopts
+// every ladder `src` has solved into `dst` when both are behavioral handles
+// over value-identical arrays. Both are no-ops returning false/0 for any
+// other engine kind, so grid call sites need no fidelity branch.
+bool prewarm_sense_ladders(IMeasureEngine& engine, DelayCode code);
+std::size_t share_sense_ladders(IMeasureEngine& dst, const IMeasureEngine& src);
 
 // Gate-level handle: builds a private sim::Simulator + FullStructuralSystem
 // netlist around copies of `array`/`pg`. The delay code is resolved from the

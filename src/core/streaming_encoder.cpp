@@ -72,6 +72,17 @@ DecodeLadder::DecodeLadder(const SensorArray& array, const PulseGenerator& pg)
     : bits_(array.bits()) {
   for (std::uint8_t c = 0; c < DelayCode::kCount; ++c) {
     ladders_[c] = array.sorted_thresholds(pg.skew(DelayCode{c}));
+    // Resolve every possible popcount's bin now; the doubles land in the
+    // memo untouched, so the table read is bit-identical to the indexed
+    // ladder lookup it replaces.
+    const auto& thr = ladders_[c];
+    bins_[c].resize(bits_ + 1);
+    for (std::size_t k = 0; k <= bits_; ++k) {
+      VoltageBin bin;
+      if (k > 0) bin.lo = thr[k - 1];
+      if (k < thr.size()) bin.hi = thr[k];
+      bins_[c][k] = bin;
+    }
   }
 }
 
@@ -79,12 +90,16 @@ VoltageBin DecodeLadder::decode(const ThermoWord& word, DelayCode code) const {
   PSNT_CHECK(word.width() == bits_, "word width does not match the ladder");
   // Same reading BatchedSenseKernel::decode derives via
   // bubble_corrected().count_ones(): correction preserves the popcount.
-  const std::size_t k = word.count_ones();
-  const auto& thr = ladders_[code.value()];
-  VoltageBin bin;
-  if (k > 0) bin.lo = thr[k - 1];
-  if (k < thr.size()) bin.hi = thr[k];
-  return bin;
+  return bins_[code.value()][word.count_ones()];
+}
+
+void DecodeLadder::decode_span(const ThermoWord* words, const DelayCode* codes,
+                               std::size_t count, VoltageBin* out) const {
+  for (std::size_t i = 0; i < count; ++i) {
+    PSNT_CHECK(words[i].width() == bits_,
+               "word width does not match the ladder");
+    out[i] = bins_[codes[i].value()][words[i].count_ones()];
+  }
 }
 
 VoltageBin DecodeLadder::decode_gnd(const ThermoWord& word, DelayCode code,

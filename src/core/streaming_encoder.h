@@ -80,6 +80,11 @@ class DecodeLadder {
 
   // Bit-identical to BatchedSenseKernel::decode for the same array/PG.
   [[nodiscard]] VoltageBin decode(const ThermoWord& word, DelayCode code) const;
+  // Bulk form of decode(): converts `count` parallel (word, code) pairs into
+  // `out` (caller-sized). One bounds check up front instead of per word —
+  // the drain pass runs this over each batch it pops off a shard ring.
+  void decode_span(const ThermoWord* words, const DelayCode* codes,
+                   std::size_t count, VoltageBin* out) const;
   // GND-n view, mirroring BatchedSenseKernel::decode_gnd.
   [[nodiscard]] VoltageBin decode_gnd(const ThermoWord& word, DelayCode code,
                                       Volt v_nominal) const;
@@ -87,6 +92,10 @@ class DecodeLadder {
  private:
   std::size_t bits_ = 0;
   std::array<std::vector<Volt>, DelayCode::kCount> ladders_;
+  // Fully-resolved bins, indexed [code][popcount]: a word's bin is a pure
+  // function of its ones count, and there are only bits_+1 counts per code,
+  // so decode_span reduces to popcount + one table read per word.
+  std::array<std::vector<VoltageBin>, DelayCode::kCount> bins_;
 };
 
 }  // namespace psnt::core

@@ -84,9 +84,10 @@ struct ScanGrid::Shard {
   std::size_t index = 0;
   std::vector<Site*> sites;
   SpscRing<GridSample> ring;
-  // Streaming capture buffer, reused across batches. Touched only by the
+  // Streaming capture buffers, reused across batches. Touched only by the
   // shard's single worker thread.
   std::vector<core::RawSample> scratch;
+  std::vector<GridSample> sample_scratch;
   std::atomic<bool> done{false};
 
   explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
@@ -115,6 +116,30 @@ void push_with_backpressure(BackpressurePolicy policy,
     }
   } else if (forced_full_pushes > 0 || !ring.try_push(std::move(sample))) {
     drops.increment();
+  }
+}
+
+// Span form for the batched capture path: one try_push_span call moves the
+// whole batch through two atomics when the ring has room; the remainder (a
+// full ring) falls back to the same per-sample policy semantics as above —
+// block-and-yield with stalls counted, or drop with every lost sample
+// counted.
+void push_span_with_backpressure(BackpressurePolicy policy,
+                                 SpscRing<GridSample>& ring,
+                                 GridSample* samples, std::size_t n,
+                                 Counter& stalls, Counter& drops,
+                                 Counter& produced) {
+  produced.increment(n);
+  std::size_t done = ring.try_push_span(samples, n);
+  while (done < n) {
+    if (policy == BackpressurePolicy::kBlockProducer) {
+      stalls.increment();
+      std::this_thread::yield();
+      done += ring.try_push_span(samples + done, n - done);
+    } else {
+      drops.increment(n - done);
+      return;
+    }
   }
 }
 
@@ -149,6 +174,16 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
   // point of the failure, so the chaos path always runs per-site decode.
   streaming_ = config_.decode_path == DecodePath::kStreaming && !chaos_;
 
+  // Resolve the hot-path instruments once: counter() takes a std::string
+  // and these names overflow SSO, so looking them up per site batch was the
+  // measure loop's residual allocation source.
+  hot_.stalls = &telemetry_.counter("grid.ring_stalls");
+  hot_.drops = &telemetry_.counter("grid.samples_dropped");
+  hot_.produced = &telemetry_.counter("grid.samples_produced");
+  hot_.sim_events = &telemetry_.counter("grid.sim_events");
+  hot_.sim_allocs = &telemetry_.counter("grid.sim_allocs");
+  hot_.structural_ns = &telemetry_.counter("grid.structural_ns");
+
   // Force the (thread-safe, but serial) calibration fit before any worker
   // can race to be first through the magic static.
   (void)calib::calibrated();
@@ -171,6 +206,25 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
     if (gnd_factory) site->gnd = gnd_factory(record, rng);
     if (config_.fidelity == SiteFidelity::kBehavioral) ensure_engine(*site);
     sites_.push_back(std::move(site));
+  }
+
+  // Cross-site firing-ladder sharing: all behavioral sites wrap the same
+  // calibrated array, so the per-code ladder solve (a ~7-bisection pass per
+  // kernel, ~10 us) would otherwise be repaid once per site inside run().
+  // Solve it once on site 0 for the configured code and adopt the tables
+  // everywhere else; share_sense_ladders fingerprints the array parameters
+  // and copies nothing if they differ, so this is amortization only, never a
+  // behavior change. Auto-ranged grids walk codes at runtime; their first
+  // step per code still solves lazily (and correctly) as before.
+  if (config_.fidelity == SiteFidelity::kBehavioral &&
+      config_.batch_capture && sites_.size() > 1) {
+    core::IMeasureEngine& first = *sites_.front()->engine;
+    if (core::prewarm_sense_ladders(first,
+                                    first.context().current_code())) {
+      for (std::size_t i = 1; i < sites_.size(); ++i) {
+        (void)core::share_sense_ladders(*sites_[i]->engine, first);
+      }
+    }
   }
 
   // Round-robin sharding: shard s owns sites s, s+S, s+2S, ... One worker
@@ -241,16 +295,10 @@ void ScanGrid::observe_code_policy(Site& site, const core::ThermoWord& word) {
 
 void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
                               Shard& shard) {
-  auto& stalls = telemetry_.counter("grid.ring_stalls");
-  auto& drops = telemetry_.counter("grid.samples_dropped");
-  auto& produced = telemetry_.counter("grid.samples_produced");
   ensure_engine(site);
   core::IMeasureEngine& engine = *site.engine;
 
-  if (engine.prefers_batch()) {
-    auto& sim_events = telemetry_.counter("grid.sim_events");
-    auto& sim_allocs = telemetry_.counter("grid.sim_allocs");
-    auto& sim_ns = telemetry_.counter("grid.structural_ns");
+  if (config_.batch_capture && engine.prefers_batch()) {
     core::MeasureRequest req;
     req.start = sample_time(first);
     std::vector<core::Measurement> batch;
@@ -258,18 +306,22 @@ void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
     engine.measure_batch(req, config_.interval, count, batch);
     const double batch_seconds = now_seconds() - t0;
     const core::EngineBatchStats stats = engine.take_batch_stats();
-    sim_events.increment(stats.sim_events);
-    sim_allocs.increment(stats.sim_allocs);
-    // Worker-side simulation time (excludes ring/aggregator); the perf bench
-    // derives its ns-per-structural-measure from this.
-    sim_ns.increment(static_cast<std::uint64_t>(batch_seconds * 1e9));
+    if (stats.sim_events > 0) {
+      hot_.sim_events->increment(stats.sim_events);
+      hot_.sim_allocs->increment(stats.sim_allocs);
+      // Worker-side simulation time (excludes ring/aggregator); the perf
+      // bench derives its ns-per-structural-measure from this. Guarded so
+      // vectorized behavioral batches (zero sim events) don't dilute it.
+      hot_.structural_ns->increment(
+          static_cast<std::uint64_t>(batch_seconds * 1e9));
+    }
     const double per_sample_us =
         batch_seconds * 1e6 / static_cast<double>(count);
     for (std::size_t k = 0; k < count; ++k) {
       GridSample s = to_grid_sample(site.index, first + k, batch[k]);
       s.wall_us = per_sample_us;
-      push_with_backpressure(config_.backpressure, shard.ring, s, stalls,
-                             drops, produced);
+      push_with_backpressure(config_.backpressure, shard.ring, s,
+                             *hot_.stalls, *hot_.drops, *hot_.produced);
     }
     return;
   }
@@ -283,8 +335,8 @@ void ScanGrid::run_site_batch(Site& site, std::size_t first, std::size_t count,
     observe_code_policy(site, m.word);
     GridSample s = to_grid_sample(site.index, k, m);
     s.wall_us = wall_us;
-    push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
-                           produced);
+    push_with_backpressure(config_.backpressure, shard.ring, s, *hot_.stalls,
+                           *hot_.drops, *hot_.produced);
   }
 }
 
@@ -297,16 +349,15 @@ void ScanGrid::run_site_batch_streaming(Site& site, std::size_t first,
     run_site_batch(site, first, count, shard);
     return;
   }
-  auto& stalls = telemetry_.counter("grid.ring_stalls");
-  auto& drops = telemetry_.counter("grid.samples_dropped");
-  auto& produced = telemetry_.counter("grid.samples_produced");
   core::IMeasureEngine& engine = *site.engine;
+  const bool batched = config_.batch_capture && engine.prefers_batch();
 
   shard.scratch.clear();
   const double t0 = now_seconds();
-  if (engine.prefers_batch()) {
-    // One backend run for the whole batch (the structural netlist), zero
-    // per-word decode anywhere on the worker.
+  if (batched) {
+    // One backend run for the whole batch — the vectorized behavioral SoA
+    // capture or the structural netlist — zero per-word decode anywhere on
+    // the worker.
     core::MeasureRequest req;
     req.start = sample_time(first);
     engine.measure_raw_batch(req, config_.interval, count, shard.scratch);
@@ -323,25 +374,32 @@ void ScanGrid::run_site_batch_streaming(Site& site, std::size_t first,
     }
   }
   const double batch_seconds = now_seconds() - t0;
-  if (engine.prefers_batch()) {
+  if (batched) {
     const core::EngineBatchStats stats = engine.take_batch_stats();
-    telemetry_.counter("grid.sim_events").increment(stats.sim_events);
-    telemetry_.counter("grid.sim_allocs").increment(stats.sim_allocs);
-    telemetry_.counter("grid.structural_ns")
-        .increment(static_cast<std::uint64_t>(batch_seconds * 1e9));
+    if (stats.sim_events > 0) {
+      hot_.sim_events->increment(stats.sim_events);
+      hot_.sim_allocs->increment(stats.sim_allocs);
+      hot_.structural_ns->increment(
+          static_cast<std::uint64_t>(batch_seconds * 1e9));
+    }
   }
 
   const double per_sample_us =
       batch_seconds * 1e6 / static_cast<double>(count);
+  shard.sample_scratch.clear();
+  shard.sample_scratch.reserve(count);
   for (std::size_t k = 0; k < count; ++k) {
     GridSample s;
     s.raw = shard.scratch[k];
     s.raw.site_id = site.index;
     s.raw.sample_index = static_cast<std::uint32_t>(first + k);
     s.wall_us = per_sample_us;
-    push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
-                           produced);
+    shard.sample_scratch.push_back(std::move(s));
   }
+  push_span_with_backpressure(config_.backpressure, shard.ring,
+                              shard.sample_scratch.data(),
+                              shard.sample_scratch.size(), *hot_.stalls,
+                              *hot_.drops, *hot_.produced);
 }
 
 // Telemetry instruments of the chaos path, resolved once per batch.
@@ -509,9 +567,6 @@ bool ScanGrid::chaos_measure(Site& site, std::size_t sample,
 void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
                                     std::size_t count, Shard& shard) {
   ChaosCounters counters(telemetry_);
-  auto& stalls = telemetry_.counter("grid.ring_stalls");
-  auto& drops = telemetry_.counter("grid.samples_dropped");
-  auto& produced = telemetry_.counter("grid.samples_produced");
   const ResiliencePolicy& policy = config_.resilience;
   ensure_engine(site);
 
@@ -541,8 +596,8 @@ void ScanGrid::run_site_batch_chaos(Site& site, std::size_t first,
     observe_code_policy(site, m.word);
     GridSample s = to_grid_sample(site.index, k, m);
     s.wall_us = (now_seconds() - t0) * 1e6;
-    push_with_backpressure(config_.backpressure, shard.ring, s, stalls, drops,
-                           produced, forced_stall_pushes);
+    push_with_backpressure(config_.backpressure, shard.ring, s, *hot_.stalls,
+                           *hot_.drops, *hot_.produced, forced_stall_pushes);
   }
 }
 
@@ -613,6 +668,29 @@ void ScanGrid::aggregate(RunResult& result) {
     store->set_degradation(status);
   };
 
+  // Drain-pass scratch, reused across sweeps: samples come off each ring in
+  // chunks, the undecoded run goes through encode_span/decode_span in one
+  // pass, then every sample is published individually. Function-scope so the
+  // steady state performs no allocation — this was the residual
+  // allocs-per-measure the grid bench still showed after PR 5.
+  constexpr std::size_t kDrainChunk = 256;
+  std::vector<GridSample> chunk;
+  std::vector<std::size_t> undecoded;
+  std::vector<core::ThermoWord> word_scratch;
+  std::vector<core::DelayCode> code_scratch;
+  std::vector<core::EncodedWord> enc_scratch(kDrainChunk);
+  std::vector<core::VoltageBin> bin_scratch(kDrainChunk);
+  chunk.reserve(kDrainChunk);
+  undecoded.reserve(kDrainChunk);
+  word_scratch.reserve(kDrainChunk);
+  code_scratch.reserve(kDrainChunk);
+  // Histogram feeds buffered per chunk: ValueHistogram locks per call, so
+  // the publish loop collects values and takes the mutex once per span.
+  std::vector<double> latency_vals;
+  std::vector<double> volt_vals;
+  latency_vals.reserve(kDrainChunk);
+  volt_vals.reserve(kDrainChunk);
+
   std::uint64_t drained = 0;
   for (;;) {
     // Read the done flags BEFORE the drain pass: if every worker had
@@ -628,42 +706,73 @@ void ScanGrid::aggregate(RunResult& result) {
 
     bool any = false;
     for (const auto& shard : shards_) {
-      GridSample s;
-      while (shard->ring.try_pop(s)) {
+      for (;;) {
+        chunk.resize(kDrainChunk);
+        const std::size_t got = shard->ring.try_pop_span(chunk.data(),
+                                                         kDrainChunk);
+        chunk.resize(got);
+        if (got == 0) break;
         any = true;
-        ++drained;
-        drained_counter.increment();
-        core::VoltageBin bin = s.bin;
-        if (!s.decoded) {
-          (void)enc.encode(s.raw.word);  // grid.enc.* telemetry
-          bin = ladder_.decode(s.raw.word, s.raw.code);
+        drained_counter.increment(chunk.size());
+
+        // Streaming ENC + voltage conversion over the chunk's undecoded run
+        // in one span each; the bins land back in their samples before the
+        // publish loop below.
+        undecoded.clear();
+        word_scratch.clear();
+        code_scratch.clear();
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          if (chunk[i].decoded) continue;
+          undecoded.push_back(i);
+          word_scratch.push_back(chunk[i].raw.word);
+          code_scratch.push_back(chunk[i].raw.code);
         }
-        auto& sr = result.sites[s.raw.site_id];
-        sr.samples[s.raw.sample_index] = core::assemble_measurement(s.raw, bin);
-        sr.valid[s.raw.sample_index] = true;
-        if (store != nullptr) {
-          serve::IngestRecord rec;
-          rec.site = s.raw.site_id;
-          rec.timestamp = s.raw.timestamp;
-          rec.volts = bin.estimate().value();
-          rec.latency_us = s.wall_us;
-          rec.in_range = bin.in_range();
-          store->ingest(rec);
-          serve_ingested->increment();
-        }
-        latency.observe(s.wall_us);
-        if (bin.in_range()) volts.observe(bin.estimate().value());
-        if (!bin.below_range() || !bin.above_range()) {
-          vdd_rollup.add(s.raw.site_id, bin.estimate().value());
-        }
-        ones_rollup.add(s.raw.site_id,
-                        static_cast<double>(s.raw.word.count_ones()));
-        if (config_.snapshot_every > 0 && !config_.snapshot_csv_path.empty() &&
-            drained % config_.snapshot_every == 0) {
-          if (telemetry_.export_csv(config_.snapshot_csv_path)) {
-            snapshots.increment();
+        if (!undecoded.empty()) {
+          enc.encode_span(word_scratch.data(), word_scratch.size(),
+                          enc_scratch.data());  // grid.enc.* telemetry
+          ladder_.decode_span(word_scratch.data(), code_scratch.data(),
+                              word_scratch.size(), bin_scratch.data());
+          for (std::size_t j = 0; j < undecoded.size(); ++j) {
+            chunk[undecoded[j]].bin = bin_scratch[j];
           }
         }
+
+        latency_vals.clear();
+        volt_vals.clear();
+        for (const GridSample& s : chunk) {
+          ++drained;
+          const core::VoltageBin& bin = s.bin;
+          auto& sr = result.sites[s.raw.site_id];
+          sr.samples[s.raw.sample_index] =
+              core::assemble_measurement(s.raw, bin);
+          sr.valid[s.raw.sample_index] = true;
+          if (store != nullptr) {
+            serve::IngestRecord rec;
+            rec.site = s.raw.site_id;
+            rec.timestamp = s.raw.timestamp;
+            rec.volts = bin.estimate().value();
+            rec.latency_us = s.wall_us;
+            rec.in_range = bin.in_range();
+            store->ingest(rec);
+            serve_ingested->increment();
+          }
+          latency_vals.push_back(s.wall_us);
+          if (bin.in_range()) volt_vals.push_back(bin.estimate().value());
+          if (!bin.below_range() || !bin.above_range()) {
+            vdd_rollup.add(s.raw.site_id, bin.estimate().value());
+          }
+          ones_rollup.add(s.raw.site_id,
+                          static_cast<double>(s.raw.word.count_ones()));
+          if (config_.snapshot_every > 0 &&
+              !config_.snapshot_csv_path.empty() &&
+              drained % config_.snapshot_every == 0) {
+            if (telemetry_.export_csv(config_.snapshot_csv_path)) {
+              snapshots.increment();
+            }
+          }
+        }
+        latency.observe_span(latency_vals.data(), latency_vals.size());
+        volts.observe_span(volt_vals.data(), volt_vals.size());
       }
       depth.set(static_cast<double>(shard->ring.size()));
     }

@@ -146,8 +146,18 @@ struct ScanGridConfig {
   std::size_t ring_capacity = 256;
   // Samples a worker runs per site before moving to the next site of its
   // shard — the PREPARE/SENSE batch size. Larger batches improve model
-  // locality; per-site sample order is unaffected, so determinism holds.
-  std::size_t batch = 8;
+  // locality and, for engines that prefer batches, the span one vectorized
+  // capture covers; per-site sample order is unaffected, so determinism
+  // holds. 96 keeps a whole batch's SoA scratch inside L1 while amortizing
+  // the per-batch dispatch (see DESIGN.md §14).
+  std::size_t batch = 96;
+  // Allow engines that prefer batches (the vectorized behavioral capture,
+  // the structural netlist) to serve a whole site batch in one engine call.
+  // Off forces the per-sample capture loop everywhere — the legacy PR-5
+  // pipeline, kept addressable for benchmarking and bisection. Auto-ranged
+  // sites capture per sample regardless (the trim loop must observe every
+  // word).
+  bool batch_capture = true;
   // When non-empty, the aggregator exports the telemetry snapshot to this
   // CSV path every `snapshot_every` drained samples (and once at the end).
   std::string snapshot_csv_path;
@@ -256,6 +266,19 @@ class ScanGrid {
   struct Shard;
   struct ChaosCounters;
 
+  // Hot-path telemetry instruments, resolved once at construction. Counter
+  // lookup takes the name as std::string; the grid.* names are long enough
+  // to defeat SSO, so per-batch lookups were the drain's residual
+  // allocations (~0.4 per measure before caching).
+  struct HotCounters {
+    Counter* stalls = nullptr;
+    Counter* drops = nullptr;
+    Counter* produced = nullptr;
+    Counter* sim_events = nullptr;
+    Counter* sim_allocs = nullptr;
+    Counter* structural_ns = nullptr;
+  };
+
   void worker_run_shard(Shard& shard);
   // Builds the site's engine (and fault session) if not built yet — the ONE
   // place the grid distinguishes site fidelities. Behavioral engines are
@@ -298,6 +321,7 @@ class ScanGrid {
   // once in the constructor, immutable afterwards, so the drain never
   // touches a worker's mutable per-engine kernel caches.
   core::DecodeLadder ladder_;
+  HotCounters hot_;
   bool chaos_ = false;      // injector attached or non-default resilience
   bool streaming_ = false;  // decode_path == kStreaming and not chaos
   bool ran_ = false;

@@ -64,6 +64,26 @@ class SpscRing {
     return try_push(std::move(copy));
   }
 
+  // Bulk producer entry: moves in up to `n` values and returns how many fit
+  // (possibly 0). One release store publishes the whole span, so a batch of
+  // samples costs two atomic operations instead of 2n. Values beyond the
+  // returned count are left unconsumed for the caller's backpressure policy.
+  std::size_t try_push_span(T* values, std::size_t n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free_slots = slots_.size() - (tail - cached_head_);
+    if (free_slots < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free_slots = slots_.size() - (tail - cached_head_);
+    }
+    const std::size_t count = n < free_slots ? n : free_slots;
+    if (count == 0) return 0;
+    for (std::size_t i = 0; i < count; ++i) {
+      slots_[(tail + i) & (slots_.size() - 1)] = std::move(values[i]);
+    }
+    tail_.store(tail + count, std::memory_order_release);
+    return count;
+  }
+
   // Consumer side. Returns false when empty.
   bool try_pop(T& out) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
@@ -74,6 +94,25 @@ class SpscRing {
     out = std::move(slots_[head & (slots_.size() - 1)]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  // Bulk consumer entry: moves out up to `max` values, returns the count
+  // (0 when empty). The drain pass pops a whole chunk under one acquire
+  // load + one release store.
+  std::size_t try_pop_span(T* out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = cached_tail_ - head;
+    if (avail == 0) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t count = max < avail ? max : avail;
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = std::move(slots_[(head + i) & (slots_.size() - 1)]);
+    }
+    head_.store(head + count, std::memory_order_release);
+    return count;
   }
 
   // Snapshot size; exact only when called from producer or consumer thread,

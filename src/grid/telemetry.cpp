@@ -15,6 +15,15 @@ void ValueHistogram::observe(double x) {
   stats_.add(x);
 }
 
+void ValueHistogram::observe_span(const double* xs, std::size_t n) {
+  if (n == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t i = 0; i < n; ++i) {
+    histogram_.add(xs[i]);
+    stats_.add(xs[i]);
+  }
+}
+
 stats::OnlineStats ValueHistogram::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;

@@ -62,6 +62,9 @@ class ValueHistogram {
   ValueHistogram(double lo, double hi, std::size_t bins);
 
   void observe(double x);
+  // Batched observe: one lock for the whole span. The grid drain publishes
+  // per chunk (hundreds of samples), where a lock per value is measurable.
+  void observe_span(const double* xs, std::size_t n);
 
   // Consistent copies taken under the lock.
   [[nodiscard]] stats::OnlineStats stats() const;

@@ -194,7 +194,16 @@ TEST(MeasureEngineCapabilities, BehavioralSupportsTrimAndVoting) {
   const analog::ConstantRail vdd{1.0_V};
   auto engine =
       make_behavioral_engine(calib::make_paper_engine(model), {&vdd, nullptr}, {});
-  EXPECT_FALSE(engine->prefers_batch());
+  EXPECT_TRUE(engine->prefers_batch())
+      << "fixed-code behavioral sites take the vectorized SoA batch path";
+  {
+    EngineSiteOptions auto_range_options;
+    auto_range_options.code_policy.auto_range = true;
+    auto auto_engine = make_behavioral_engine(
+        calib::make_paper_engine(model), {&vdd, nullptr}, auto_range_options);
+    EXPECT_FALSE(auto_engine->prefers_batch())
+        << "auto-range must observe every word before the next PREPARE";
+  }
   EXPECT_TRUE(engine->supports_code_trim());
   EXPECT_TRUE(engine->supports_voting());
   EXPECT_EQ(engine->take_batch_stats().sim_events, 0u)

@@ -215,7 +215,7 @@ TEST(ScanGrid, StructuralFidelityAgreesWithBehavioralOnQuietRails) {
 }
 
 TEST(ScanGrid, StructuralSitesSurviveMultipleBatches) {
-  // samples_per_site far beyond the dispatch batch (8) forces repeated
+  // samples_per_site far beyond the dispatch batch forces repeated
   // run_measures calls on the same live site simulation — the continuation
   // path that used to throw "cannot schedule an event in the past" because
   // the first run left an enable-drop event pending mid-cycle. Also checks
@@ -223,6 +223,7 @@ TEST(ScanGrid, StructuralSitesSurviveMultipleBatches) {
   const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
   auto config = base_config(1);
   config.fidelity = SiteFidelity::kStructural;
+  config.batch = 8;  // pin below samples_per_site so several batches run
   config.samples_per_site = 20;
   ScanGrid grid{fp, config, ScanGrid::constant_rails(1.0_V)};
   const auto result = grid.run();

@@ -55,8 +55,12 @@ void expect_runs_identical(const RunResult& streaming,
       // the drain ladder mirrors the kernel ladder operand-for-operand.
       ASSERT_EQ(sa.bin.lo.has_value(), sb.bin.lo.has_value());
       ASSERT_EQ(sa.bin.hi.has_value(), sb.bin.hi.has_value());
-      if (sa.bin.lo) EXPECT_EQ(sa.bin.lo->value(), sb.bin.lo->value());
-      if (sa.bin.hi) EXPECT_EQ(sa.bin.hi->value(), sb.bin.hi->value());
+      if (sa.bin.lo) {
+        EXPECT_EQ(sa.bin.lo->value(), sb.bin.lo->value());
+      }
+      if (sa.bin.hi) {
+        EXPECT_EQ(sa.bin.hi->value(), sb.bin.hi->value());
+      }
     }
   }
 }
@@ -150,6 +154,70 @@ TEST(StreamingGrid, ChaosPathForcesPerSiteDecode) {
   const auto b = plain.run();
   expect_runs_identical(a, b, 6, "chaos-fallback");
   EXPECT_EQ(chaos.telemetry().counter("grid.enc.words").value(), 0u);
+}
+
+TEST(StreamingGrid, BatchCaptureBitIdenticalToBothLegacyPipelines) {
+  // The ISSUE-7 acceptance gate: the vectorized SoA batch capture
+  // (batch_capture=true, the default) must publish the same words, bins and
+  // codes as the PR-5 per-sample streaming pipeline AND the legacy per-site
+  // decode, at every thread count.
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 4, 4);
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    auto batch_config = base_config(threads, DecodePath::kStreaming);
+    ASSERT_TRUE(batch_config.batch_capture);
+    auto legacy_config = batch_config;
+    legacy_config.batch_capture = false;
+    auto per_site_config = legacy_config;
+    per_site_config.decode_path = DecodePath::kPerSite;
+    ScanGrid batch{fp, batch_config, test_rails(fp)};
+    ScanGrid legacy{fp, legacy_config, test_rails(fp)};
+    ScanGrid per_site{fp, per_site_config, test_rails(fp)};
+    const auto a = batch.run();
+    const auto b = legacy.run();
+    const auto c = per_site.run();
+    expect_runs_identical(a, b, 6, "batch-vs-streaming");
+    expect_runs_identical(a, c, 6, "batch-vs-per-site");
+  }
+}
+
+TEST(StreamingGrid, ChaosGridUnaffectedByBatchCapture) {
+  // An injector forces the chaos loop (per-sample measures, per-site
+  // decode); the batch_capture knob must be a strict no-op there.
+  const auto fp = scan::Floorplan::grid(2000.0, 2000.0, 2, 2);
+  auto on_config = base_config(2, DecodePath::kStreaming);
+  on_config.injector = std::make_shared<fault::FaultInjector>(
+      414, fault::FaultStormConfig{});
+  auto off_config = on_config;
+  off_config.batch_capture = false;
+  ScanGrid on{fp, on_config, test_rails(fp)};
+  ScanGrid off{fp, off_config, test_rails(fp)};
+  const auto a = on.run();
+  const auto b = off.run();
+  expect_runs_identical(a, b, 6, "chaos-batch-knob");
+}
+
+TEST(StreamingGrid, AutoRangeKeepsPerSampleCaptureUnderBatchConfig) {
+  // Auto-ranging sites must never take the batch capture (the controller
+  // needs every word before the next PREPARE), so batch_capture on/off are
+  // bit-identical — and identical to the per-site auto-range reference.
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto on_config = base_config(2, DecodePath::kStreaming);
+  on_config.samples_per_site = 10;
+  on_config.code_policy = CodePolicy::kAutoRange;
+  auto off_config = on_config;
+  off_config.batch_capture = false;
+  auto per_site_config = on_config;
+  per_site_config.decode_path = DecodePath::kPerSite;
+  ScanGrid on{fp, on_config, ScanGrid::constant_rails(Volt{0.85})};
+  ScanGrid off{fp, off_config, ScanGrid::constant_rails(Volt{0.85})};
+  ScanGrid per_site{fp, per_site_config, ScanGrid::constant_rails(Volt{0.85})};
+  const auto a = on.run();
+  const auto b = off.run();
+  const auto c = per_site.run();
+  expect_runs_identical(a, b, 10, "auto-range-batch-knob");
+  expect_runs_identical(a, c, 10, "auto-range-vs-per-site");
+  for (const auto& site : a.sites) EXPECT_GT(site.code_steps, 0u);
 }
 
 TEST(StreamingGrid, DropNewestStillAccountsForEverySample) {
