@@ -9,6 +9,7 @@
 #include "calib/fit.h"
 #include "fault/fault_session.h"
 #include "grid/spsc_ring.h"
+#include "net/remote_engine.h"
 #include "grid/thread_pool.h"
 #include "serve/store.h"
 #include "util/error.h"
@@ -204,7 +205,10 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
     site->vdd = vdd_factory(record, rng);
     PSNT_CHECK(site->vdd != nullptr, "RailFactory returned null vdd rail");
     if (gnd_factory) site->gnd = gnd_factory(record, rng);
-    if (config_.fidelity == SiteFidelity::kBehavioral) ensure_engine(*site);
+    if (config_.fidelity == SiteFidelity::kBehavioral &&
+        !config_.engine_factory) {
+      ensure_engine(*site);
+    }
     sites_.push_back(std::move(site));
   }
 
@@ -217,7 +221,7 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
   // behavior change. Auto-ranged grids walk codes at runtime; their first
   // step per code still solves lazily (and correctly) as before.
   if (config_.fidelity == SiteFidelity::kBehavioral &&
-      config_.batch_capture && sites_.size() > 1) {
+      !config_.engine_factory && config_.batch_capture && sites_.size() > 1) {
     core::IMeasureEngine& first = *sites_.front()->engine;
     if (core::prewarm_sense_ladders(first,
                                     first.context().current_code())) {
@@ -272,7 +276,10 @@ void ScanGrid::ensure_engine(Site& site) {
   const auto& model = calib::calibrated().model;
   // The only fidelity branch in the grid: everything past construction
   // speaks the EngineHandle contract.
-  if (config_.fidelity == SiteFidelity::kBehavioral) {
+  if (config_.engine_factory) {
+    site.engine = config_.engine_factory(site.id, rails, options);
+    PSNT_CHECK(site.engine != nullptr, "engine_factory returned null engine");
+  } else if (config_.fidelity == SiteFidelity::kBehavioral) {
     site.engine = core::make_behavioral_engine(
         calib::make_paper_engine(model, config_.thermometer), rails, options);
   } else {
@@ -514,7 +521,29 @@ bool ScanGrid::chaos_measure(Site& site, std::size_t sample,
         req.code = drifted_code(engine.context().current_code(), f.code_delta);
       }
       if (site.fault_session) site.fault_session->arm(f);
-      core::Measurement m = engine.measure(req);
+      core::Measurement m;
+      try {
+        m = engine.measure(req);
+      } catch (const net::TransportError& err) {
+        // A remote engine's transport failure (deadline blown, short read,
+        // connection lost) IS a hung measure: record it on the hung lane
+        // with the IoStatus as the trace detail and fall through to the
+        // same retry/backoff path. Quarantine streaks and degradation
+        // telemetry follow for free.
+        if (site.fault_session) site.fault_session->disarm();
+        fault::MeasureFaults tf;
+        tf.hung = true;
+        tf.hung_detail = static_cast<std::int32_t>(err.status());
+        record_fault_events(site, tf, sample, attempt, counters);
+        counters.timeouts.increment();
+        if (a + 1 < attempts_per_vote) {
+          ++site.retries;
+          counters.retries.increment();
+          apply_backoff(policy, a + 1, counters.backoff_us);
+          needed_retry = true;
+        }
+        continue;
+      }
       if (site.fault_session) site.fault_session->disarm();
       if (a > 0) needed_retry = true;
       forced_stall_pushes = std::max(forced_stall_pushes, f.ring_stall_pushes);

@@ -124,6 +124,17 @@ enum class DecodePath { kStreaming, kPerSite };
 using RailFactory = std::function<std::unique_ptr<analog::RailSource>(
     const scan::SensorSite&, stats::Xoshiro256&)>;
 
+// Builds one site's measurement engine, overriding the fidelity branch —
+// the injection point for engines the grid cannot construct itself, most
+// notably net::RemoteEngineHandle (a socket to a fleet worker). Invoked
+// lazily on the site's worker thread, once per site, with the site's rails
+// and the grid-resolved site options; must return non-null. Transport
+// failures thrown by a remote engine (net::TransportError) are mapped by
+// the chaos path onto the hung-fault lane — retry/backoff, then quarantine.
+using EngineFactory = std::function<core::EngineHandle(
+    std::uint32_t site_id, const analog::RailPair&,
+    const core::EngineSiteOptions&)>;
+
 struct ScanGridConfig {
   std::size_t threads = 1;
   std::size_t samples_per_site = 16;
@@ -134,6 +145,10 @@ struct ScanGridConfig {
   core::ThermometerConfig thermometer;
   SiteFidelity fidelity = SiteFidelity::kBehavioral;
   CodePolicy code_policy = CodePolicy::kFixed;
+  // When set, every site engine comes from this factory and `fidelity` is
+  // ignored (see EngineFactory). Factory engines are built lazily on the
+  // worker thread — a remote engine's connect happens off the constructor.
+  EngineFactory engine_factory;
   // Streaming drain-pass ENC vs legacy per-site decode; see DecodePath.
   DecodePath decode_path = DecodePath::kStreaming;
   // When set, each site's starting Delay Code is resolved once at engine

@@ -42,6 +42,9 @@ struct alignas(kCacheLine) TelemetryStore::Shard {
   // the pointer. The mutex guards only that assignment/copy.
   mutable std::mutex snap_mutex;
   std::shared_ptr<const ShardSnapshot> published;
+  // Serializes ingest_locked() callers; untouched by the lock-free ingest()
+  // contract (one entry point per shard per deployment).
+  std::mutex ingest_mutex;
 
   Shard(const StoreConfig& config, std::size_t shard_index)
       : voltage(config.voltage_sketch),
@@ -105,6 +108,13 @@ void TelemetryStore::ingest(const IngestRecord& record) {
     shard.until_publish = config_.publish_every;
     publish(shard_of(record.site));
   }
+}
+
+void TelemetryStore::ingest_locked(const IngestRecord& record) {
+  PSNT_CHECK(record.site < config_.site_count, "ingest site out of range");
+  Shard& shard = *shards_[shard_of(record.site)];
+  const std::lock_guard<std::mutex> guard(shard.ingest_mutex);
+  ingest(record);
 }
 
 void TelemetryStore::publish(std::size_t shard_index) {

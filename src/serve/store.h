@@ -153,6 +153,14 @@ class TelemetryStore {
   // `publish_every` ingests.
   void ingest(const IngestRecord& record);
 
+  // Thread-safe ingest for writers that cannot honor the single-writer-per-
+  // shard contract — the fleet's aggregator threads, whose thread↔connection
+  // mapping is independent of the store's site↔shard mapping. Same effect as
+  // ingest() under a per-shard mutex; zero cost to the lock-free ingest()
+  // path (per deployment a shard is driven through exactly one of the two
+  // entry points).
+  void ingest_locked(const IngestRecord& record);
+
   // Snapshot publication. publish(shard) must be called by that shard's
   // writer; publish_all() by a single thread after writers quiesce (the
   // grid calls it once the drain completes).

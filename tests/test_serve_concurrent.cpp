@@ -65,7 +65,10 @@ void run_concurrent_soak(std::size_t threads) {
   for (int r = 0; r < 2; ++r) {
     readers.emplace_back([&store, &done, &observations] {
       QueryEngine query(store);
-      while (!done.load(std::memory_order_acquire)) {
+      // do-while: at least one full observation even if this thread is
+      // scheduled so late the writers already finished (seen once under a
+      // heavily loaded parallel ctest run).
+      do {
         query.refresh();
         const std::uint64_t published = query.published_seq();
         // Published work never exceeds ingested work...
@@ -82,7 +85,7 @@ void run_concurrent_soak(std::size_t threads) {
         (void)query.top_droop(4);
         (void)query.degradation();
         observations.fetch_add(1, std::memory_order_relaxed);
-      }
+      } while (!done.load(std::memory_order_acquire));
     });
   }
 
