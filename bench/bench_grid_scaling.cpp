@@ -81,6 +81,8 @@ std::vector<std::vector<core::ThermoWord>> serial_reference(
 }
 
 void report_simcore_structural();
+void report_simcore_compiled(double event_ns_per_measure,
+                             const grid::RunResult& event_result);
 
 // One decode path measured serially: 1 thread, min-of-`repeats` wall time
 // (behavioral measures are microsecond-scale, shared CI machines are noisy),
@@ -286,6 +288,11 @@ void report_simcore_structural() {
   const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 2, 2);
   auto config = grid_config(1);
   config.fidelity = grid::SiteFidelity::kStructural;
+  // This section is the *event-driven* structural baseline: the compiled
+  // kernel is benchmarked (and proven bit-identical) separately below, and
+  // keeping the scheduler path pinned here means a kernel regression cannot
+  // hide an event-path regression or vice versa.
+  config.structural_compile = false;
   config.samples_per_site = 128;
 
   // Shared CI machines are noisy; repeat the run and keep the least-disturbed
@@ -365,6 +372,99 @@ void report_simcore_structural() {
                 kSeedAllocsPerMeasure, kSeedNsPerMeasure / ns_per_measure,
                 identical ? "yes" : "NO");
   bench::note(line);
+
+  report_simcore_compiled(ns_per_measure, result);
+}
+
+// Compiled-kernel perf + conformance: the same 2×2 × 128-sample structural
+// grid with sim/lower's levelized kernel on the hot path. bit_identical is
+// an identity metric (the gate holds it at exactly 1): every published word
+// must match the event-driven run above, and the 2-thread rerun must match
+// the 1-thread run. speedup_vs_event compares against the event-driven
+// ns_per_measure measured in the same process a moment ago, so machine noise
+// largely divides out. In a PSNT_COMPILE=off build the kernel is absent and
+// the section is skipped (the gate skips missing sections).
+void report_simcore_compiled(double event_ns_per_measure,
+                             const grid::RunResult& event_result) {
+#if defined(PSNT_COMPILE_OFF)
+  (void)event_ns_per_measure;
+  (void)event_result;
+  bench::note("structural_compiled: skipped (PSNT_COMPILE=off build)");
+#else
+  bench::section("simcore — compiled structural kernel → BENCH_simcore.json");
+
+  const auto fp = scan::Floorplan::grid(4000.0, 4000.0, 2, 2);
+  auto config = grid_config(1);
+  config.fidelity = grid::SiteFidelity::kStructural;
+  config.samples_per_site = 128;
+
+  constexpr int kRepeats = 3;
+  double ns_per_measure = 0.0;
+  double events_per_measure = 0.0;
+  double allocs_per_measure = 0.0;
+  double measures_per_sec = 0.0;
+  grid::RunResult result;
+  for (int r = 0; r < kRepeats; ++r) {
+    grid::ScanGrid g{fp, config, bench_rails(fp)};
+    const std::uint64_t allocs_before = bench::alloc_count();
+    auto run = g.run();
+    const auto allocs =
+        static_cast<double>(bench::alloc_count() - allocs_before);
+    const auto measures = static_cast<double>(run.produced);
+    const double events =
+        static_cast<double>(g.telemetry().counter("grid.sim_events").value());
+    const double sim_ns = static_cast<double>(
+        g.telemetry().counter("grid.structural_ns").value());
+    if (r == 0 || sim_ns / measures < ns_per_measure) {
+      ns_per_measure = sim_ns / measures;
+      measures_per_sec = measures / (sim_ns * 1e-9);
+    }
+    events_per_measure = events / measures;
+    allocs_per_measure = allocs / measures;
+    if (r == 0) result = std::move(run);
+  }
+
+  // Conformance: word-for-word against the event-driven run, and against a
+  // 2-thread compiled rerun.
+  auto config2 = config;
+  config2.threads = 2;
+  grid::ScanGrid g2{fp, config2, bench_rails(fp)};
+  const auto result2 = g2.run();
+  bool bit_identical = true;
+  bool thread_invariant = true;
+  for (std::size_t i = 0; i < result.sites.size(); ++i) {
+    for (std::size_t k = 0; k < config.samples_per_site; ++k) {
+      bit_identical &= result.sites[i].samples[k].word ==
+                       event_result.sites[i].samples[k].word;
+      thread_invariant &=
+          result.sites[i].samples[k].word == result2.sites[i].samples[k].word;
+    }
+  }
+
+  bench::JsonReport json;
+  json.set("structural_compiled", "measures_per_sec", measures_per_sec);
+  json.set("structural_compiled", "ns_per_measure", ns_per_measure);
+  json.set("structural_compiled", "events_per_measure", events_per_measure);
+  json.set("structural_compiled", "allocs_per_measure", allocs_per_measure);
+  json.set("structural_compiled", "bit_identical", bit_identical ? 1.0 : 0.0);
+  json.set("structural_compiled", "thread_invariant",
+           thread_invariant ? 1.0 : 0.0);
+  json.set("structural_compiled", "event_ns_per_measure",
+           event_ns_per_measure);
+  json.set("structural_compiled", "speedup_vs_event",
+           event_ns_per_measure / ns_per_measure);
+  json.write();
+
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "%.0f ns/measure, %.1f events/measure, %.2f allocs/measure — "
+                "%.1fx vs event-driven (%.0f ns), bit-identical=%s, "
+                "thread-invariant=%s",
+                ns_per_measure, events_per_measure, allocs_per_measure,
+                event_ns_per_measure / ns_per_measure, event_ns_per_measure,
+                bit_identical ? "yes" : "NO", thread_invariant ? "yes" : "NO");
+  bench::note(line);
+#endif
 }
 
 void BM_GridScan(benchmark::State& state) {

@@ -64,6 +64,7 @@ ABS_DELTA_METRICS = ("allocs_per_measure", "rss_growth_mb")
 # any fresh value below 1.0 is an outright failure, independent of thresholds.
 # A section that carries the bit in the baseline must carry it fresh too.
 IDENTITY_METRICS = (
+    "bit_identical",
     "bit_identical_to_serial",
     "bit_identical_to_per_site",
     "bit_identical_to_in_process",

@@ -41,6 +41,11 @@ class StructuralControlFsm {
   [[nodiscard]] sim::Net& busy() { return *busy_; }
   [[nodiscard]] sim::Net& capture_sense() { return *capture_sense_; }
 
+  // Live Delay-Code register outputs. These are the Q nets of the code
+  // register, so routing them into the PG MUX select pins makes the tap
+  // selection follow INIT-loaded codes at gate level (no rebuild needed).
+  [[nodiscard]] sim::Net& code_q(std::size_t bit) { return *code_q_.at(bit); }
+
   // Observability for verification.
   [[nodiscard]] FsmState decoded_state() const;
   [[nodiscard]] DelayCode decoded_code() const;

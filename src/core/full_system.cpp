@@ -17,6 +17,10 @@ FullStructuralSystem::FullStructuralSystem(sim::Simulator& sim,
       sensor_([&] {
         BuilderOptions opts;
         opts.polarity = config.polarity;
+        // Route the FSM's code register straight into the MUX selects: the
+        // PG tap follows whatever code INIT last loaded.
+        opts.select_nets = {&fsm_.code_q(0), &fsm_.code_q(1),
+                            &fsm_.code_q(2)};
         return build_structural_sensor(sim, name + ".arr", array, pg,
                                        config.code, rails, opts);
       }()) {
@@ -53,13 +57,47 @@ FullStructuralSystem::FullStructuralSystem(sim::Simulator& sim,
   }
   sim.run_until(Picoseconds{1000.0});
   t_ = 2000.0;
+
+#if !defined(PSNT_COMPILE_OFF)
+  if (config.compile == Config::Compile::kAuto) {
+    // Lower the settled netlist. run_all drains any event still in flight
+    // (compile refuses a non-quiescent scheduler); a refused compile —
+    // probes attached, foreign components added alongside — leaves kernel_
+    // null and everything runs event-driven.
+    sim.run_all();
+    kernel_ = sim::CompiledKernel::compile(sim);
+  }
+#endif
+}
+
+void FullStructuralSystem::set_code(DelayCode code) {
+  if (code.value() == config_.code.value()) return;
+  config_.code = code;
+  needs_configure_ = true;
+}
+
+void FullStructuralSystem::drive(sim::Net& net, Picoseconds at,
+                                 sim::Logic v) {
+  if (kernel_) {
+    kernel_->drive(net, at, v);
+  } else {
+    sim_.drive(net, at, v);
+  }
+}
+
+void FullStructuralSystem::run_to(Picoseconds t) {
+  if (kernel_) {
+    kernel_->run_until(t);
+  } else {
+    sim_.run_until(t);
+  }
 }
 
 void FullStructuralSystem::clock_one_cycle() {
   const double period = config_.control_period.value();
-  sim_.drive(fsm_.clk(), Picoseconds{t_ + period / 2.0}, sim::Logic::L1);
-  sim_.drive(fsm_.clk(), Picoseconds{t_ + period}, sim::Logic::L0);
-  sim_.run_until(Picoseconds{t_ + period});
+  drive(fsm_.clk(), Picoseconds{t_ + period / 2.0}, sim::Logic::L1);
+  drive(fsm_.clk(), Picoseconds{t_ + period}, sim::Logic::L0);
+  run_to(Picoseconds{t_ + period});
   t_ += period;
 }
 
@@ -68,16 +106,61 @@ std::vector<ThermoWord> FullStructuralSystem::run_measures(
   PSNT_CHECK(count > 0, "need at least one measure");
   const double period = config_.control_period.value();
 
-  // A previous batch returns with sim time at t_ + T/4 (the read-out point)
-  // and the enable-drop event still pending at t_ + 0.4T. Run one idle cycle
-  // — enable falls before its rising edge, so the FSM parks in IDLE — to
-  // realign on a cycle boundary; enable can then be raised 100 ps in, with
-  // the same settle margin as a fresh start.
-  if (sim_.now().value() > t_) clock_one_cycle();
+  // Guard against post-compile netlist growth or probe attachment: before
+  // the kernel has ever run, a mismatch silently falls back to the
+  // event-driven path (the kernel is stale but nothing was lost); after the
+  // first compiled batch the two worlds have diverged and the mutation is a
+  // hard error.
+  if (kernel_ && (kernel_->topology_version() != sim_.topology_version() ||
+                  !kernel_->listeners_unchanged())) {
+    PSNT_CHECK(!kernel_ran_,
+               "netlist mutated after compiled measures began; compiled and "
+               "event-driven state have diverged");
+    kernel_.reset();
+  }
+  if (kernel_) kernel_ran_ = true;
 
-  sim_.drive(fsm_.enable(), Picoseconds{t_ + 100.0}, sim::Logic::L1);
-  if (configure_first) {
-    sim_.drive(fsm_.configure(), Picoseconds{t_ + 100.0}, sim::Logic::L1);
+  // A previous batch returns with sim time at t_ + T/4 (the read-out point),
+  // the enable-drop event still pending at t_ + 0.4T, and the FSM parked in
+  // READY (the post-capture cycles walk S_SNS → IDLE → READY while enable is
+  // still up). Run one realign cycle to land on a cycle boundary; its rising
+  // edge launches the batch's first transaction straight out of READY, so
+  // when this batch retargets the delay code, configure and the new code
+  // must already be up at that edge — READY then detours through INIT and
+  // the first word uses the new tap.
+  const bool configure = configure_first || needs_configure_;
+  const bool realign = now().value() > t_;
+  if (realign && configure) {
+    const double t_cfg = t_ + period * 0.3;  // just past the read-out point
+    for (std::size_t b = 0; b < 3; ++b) {
+      drive(fsm_.ext_code(b), Picoseconds{t_cfg},
+            sim::from_bool((config_.code.value() >> b) & 1u));
+    }
+    drive(fsm_.configure(), Picoseconds{t_cfg}, sim::Logic::L1);
+    // The next-state SOP cone is deeper than the T/4 left between the
+    // read-out point and the realign edge, so the drive above cannot make
+    // setup at T/2. Hold the clock low for one extra period — the FSM sits
+    // in READY, the cone settles — and realign on the following edge.
+    t_ += period;
+  }
+  if (realign) clock_one_cycle();
+
+  drive(fsm_.enable(), Picoseconds{t_ + 100.0}, sim::Logic::L1);
+  if (configure) {
+    if (realign) {
+      // INIT was entered at the realign edge; the code register loads at the
+      // next edge (ext_code is already presented). Retire configure now.
+      drive(fsm_.configure(), Picoseconds{t_ + 100.0}, sim::Logic::L0);
+    } else {
+      // Fresh start: the FSM walks RESET → IDLE → READY and samples
+      // configure there, several edges past these drives.
+      for (std::size_t b = 0; b < 3; ++b) {
+        drive(fsm_.ext_code(b), Picoseconds{t_ + 100.0},
+              sim::from_bool((config_.code.value() >> b) & 1u));
+      }
+      drive(fsm_.configure(), Picoseconds{t_ + 100.0}, sim::Logic::L1);
+    }
+    needs_configure_ = false;
   }
 
   std::vector<ThermoWord> words;
@@ -90,7 +173,7 @@ std::vector<ThermoWord> FullStructuralSystem::run_measures(
     const FsmState state = fsm_.decoded_state();
     if (state == FsmState::kInit) {
       // Code latched on the next edge; stop configuring.
-      sim_.drive(fsm_.configure(), Picoseconds{t_ + 100.0}, sim::Logic::L0);
+      drive(fsm_.configure(), Picoseconds{t_ + 100.0}, sim::Logic::L0);
     }
     if (state == FsmState::kSenseHigh) {
       // The command flops fire on this cycle's falling edge; the CP sampling
@@ -98,12 +181,11 @@ std::vector<ThermoWord> FullStructuralSystem::run_measures(
       // metastability resolution. Two cycles is comfortably enough.
       clock_one_cycle();
       clock_one_cycle();
-      sim_.run_until(Picoseconds{t_ + period / 4.0});
+      run_to(Picoseconds{t_ + period / 4.0});
       words.push_back(sensor_.read_word());
       if (words.size() == count) {
         // Drop enable before the next rising edge (we are at t_ + T/4).
-        sim_.drive(fsm_.enable(), Picoseconds{t_ + period * 0.4},
-                   sim::Logic::L0);
+        drive(fsm_.enable(), Picoseconds{t_ + period * 0.4}, sim::Logic::L0);
       }
     }
   }

@@ -7,14 +7,27 @@
 // flops sample the noisy rail, and measurements complete when the FSM's
 // capture strobe fires. Nothing behavioral remains in the measurement path —
 // the behavioral NoiseThermometer is only used to cross-validate the result.
+//
+// The PG MUX selects are the FSM's Delay-Code register Q nets, so the tap
+// selection is live: set_code() reloads the register through INIT on the
+// next batch and the tree retargets structurally, no rebuild.
+//
+// Execution backend: after power-on settle the elaborated netlist is lowered
+// into a sim::CompiledKernel (levelized flat gate array; see sim/lower.h)
+// and all measures run through it — bit-identical to the event scheduler by
+// construction, roughly an order of magnitude faster. The event-driven path
+// remains the oracle: Config::compile = kOff (or building with
+// -DPSNT_COMPILE=off) runs everything through the scheduler instead.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "core/fsm_netlist.h"
 #include "core/system_builder.h"
 #include "core/thermometer.h"
+#include "sim/lower.h"
 
 namespace psnt::core {
 
@@ -25,6 +38,12 @@ class FullStructuralSystem {
     DelayCode code{3};
     SensePolarity polarity = SensePolarity::kHighSense;
     analog::FlipFlopTimingModel control_ff{};
+    // kAuto lowers the netlist after power-on settle and runs measures
+    // through the compiled kernel, falling back to event-driven when
+    // lowering is refused (e.g. probes attached). kOff always uses the
+    // event scheduler. -DPSNT_COMPILE=off forces kOff at build time.
+    enum class Compile { kAuto, kOff };
+    Compile compile = Compile::kAuto;
   };
 
   FullStructuralSystem(sim::Simulator& sim, const std::string& name,
@@ -34,22 +53,42 @@ class FullStructuralSystem {
   // Runs complete measure transactions by clocking the FSM netlist with
   // enable held high; returns one word per completed SENSE capture.
   // `configure_first` loads the config's delay code through INIT before the
-  // first PREPARE (otherwise the power-on code 000 is used by the FSM, while
-  // the PG tap is hard-selected by config.code — keep them equal).
+  // first PREPARE (otherwise the FSM's current code — 000 at power-on —
+  // selects the tap, since the MUX selects follow the code register live).
   std::vector<ThermoWord> run_measures(std::size_t count,
                                        bool configure_first = true);
 
+  // Retargets the delay code for subsequent measures: the next run_measures
+  // batch pulses configure so INIT reloads the code register, and the live
+  // MUX selects move the PG tap. No-op if the code is unchanged.
+  void set_code(DelayCode code);
+  [[nodiscard]] DelayCode code() const { return config_.code; }
+
   [[nodiscard]] StructuralControlFsm& fsm() { return fsm_; }
   [[nodiscard]] StructuralSensor& sensor() { return sensor_; }
-  [[nodiscard]] Picoseconds now() const { return sim_.now(); }
+  [[nodiscard]] Picoseconds now() const {
+    return kernel_ ? kernel_->now() : sim_.now();
+  }
+
+  // Compiled-mode observability: non-null when measures run through the
+  // lowered kernel.
+  [[nodiscard]] bool compiled() const { return kernel_ != nullptr; }
+  [[nodiscard]] const sim::CompiledKernel* kernel() const {
+    return kernel_.get();
+  }
 
  private:
   void clock_one_cycle();
+  void drive(sim::Net& net, Picoseconds at, sim::Logic v);
+  void run_to(Picoseconds t);
 
   sim::Simulator& sim_;
   Config config_;
   StructuralControlFsm fsm_;
   StructuralSensor sensor_;
+  std::unique_ptr<sim::CompiledKernel> kernel_;
+  bool kernel_ran_ = false;
+  bool needs_configure_ = false;
   double t_ = 0.0;
 };
 

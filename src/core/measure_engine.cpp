@@ -404,25 +404,32 @@ class BehavioralEngineHandle final : public IMeasureEngine {
 };
 
 // Gate-level backend: a private event simulator running the full Fig. 6
-// netlist. One netlist transaction covers prepare+sense, so measure() maps
-// onto run_measures(1) and measure_batch amortizes FSM idle realignment
-// across the whole batch. Thread-confined: build and measure on one thread.
+// netlist, lowered to a sim::CompiledKernel when the topology allows. One
+// netlist transaction covers prepare+sense, so measure() maps onto
+// run_measures(1) and measure_batch amortizes FSM idle realignment across
+// the whole batch. The PG MUX selects are the FSM's live code register, so
+// auto-range works at gate level: each measure resolves its code from the
+// context policy and a change reloads the register through INIT.
+// Thread-confined: build and measure on one thread.
 class StructuralEngineHandle final : public IMeasureEngine {
  public:
   StructuralEngineHandle(const SensorArray& array, const PulseGenerator& pg,
                          analog::RailPair rails, Picoseconds control_period,
                          const EngineSiteOptions& options)
       : array_(array), pg_(pg), kernel_(array_), encoder_(BubblePolicy::kMajority) {
-    PSNT_CHECK(!options.code_policy.auto_range,
-               "the structural backend cannot auto-range: its PG tap is "
-               "hard-selected at netlist construction");
     code_ = options.code_policy.initial;
     if (options.code_policy.window) {
       code_ = tune_for_window(array_, pg_, options.code_policy.window->lo,
                               options.code_policy.window->hi)
                   .code;
     }
-    ctx_.set_fixed_code(code_);
+    if (options.code_policy.auto_range) {
+      AutoRangeConfig ar = options.code_policy.auto_range_config;
+      ar.initial = code_;
+      ctx_.enable_auto_range(ar);
+    } else {
+      ctx_.set_fixed_code(code_);
+    }
     if (options.fault_hooks) {
       offset_vdd_.emplace(rails.vdd, &ctx_);
       rails.vdd = &*offset_vdd_;
@@ -433,52 +440,63 @@ class StructuralEngineHandle final : public IMeasureEngine {
     FullStructuralSystem::Config config;
     config.control_period = control_period;
     config.code = code_;
+    config.compile = options.structural_compile
+                         ? FullStructuralSystem::Config::Compile::kAuto
+                         : FullStructuralSystem::Config::Compile::kOff;
     system_ = std::make_unique<FullStructuralSystem>(sim_, "site", array_, pg_,
                                                      rails, config);
     // Stats marks start after construction so power-on settle is excluded.
-    events_mark_ = sim_.scheduler().executed_events();
-    allocs_mark_ = sim_.scheduler().allocation_count();
+    events_mark_ = total_events();
+    allocs_mark_ = total_allocs();
   }
 
   EngineContext& context() override { return ctx_; }
   [[nodiscard]] std::size_t word_bits() const override { return array_.bits(); }
 
   Measurement measure(const MeasureRequest& req) override {
-    const auto words = run_words(1);
-    return to_measurement(req.start, words.front());
+    const DelayCode code = resolve_code(req);
+    const auto words = run_words(code, 1);
+    return to_measurement(req.start, code, words.front());
   }
 
   void measure_batch(const MeasureRequest& first, Picoseconds interval,
                      std::size_t count, std::vector<Measurement>& out) override {
-    const auto words = run_words(count);
+    const DelayCode code = resolve_code(first);
+    const auto words = run_words(code, count);
     out.reserve(out.size() + count);
     for (std::size_t k = 0; k < count; ++k) {
       const Picoseconds at{first.start.value() +
                            static_cast<double>(k) * interval.value()};
-      out.push_back(to_measurement(at, words[k]));
+      out.push_back(to_measurement(at, code, words[k]));
     }
   }
 
-  [[nodiscard]] bool prefers_batch() const override { return true; }
-  [[nodiscard]] bool supports_code_trim() const override { return false; }
+  // Auto-ranged sites must stay per-sample (the policy observes each word
+  // before the next PREPARE); fixed-code sites amortize the whole batch
+  // through one netlist run.
+  [[nodiscard]] bool prefers_batch() const override {
+    return !ctx_.auto_ranging();
+  }
   [[nodiscard]] bool supports_voting() const override { return false; }
 
   [[nodiscard]] bool supports_raw_samples() const override { return true; }
   RawSample measure_raw(const MeasureRequest& req) override {
-    const auto words = run_words(1);
-    return to_raw(req.start, words.front());
+    const DelayCode code = resolve_code(req);
+    const auto words = run_words(code, 1);
+    return to_raw(req.start, code, words.front());
   }
   void measure_raw_batch(const MeasureRequest& first, Picoseconds interval,
                          std::size_t count,
                          std::vector<RawSample>& out) override {
     // The big win for the netlist backend: one simulator run for the whole
     // batch and zero per-word decode — the drain pass owns ENC + voltage.
-    const auto words = run_words(count);
+    const DelayCode code = resolve_code(first);
+    const auto words = run_words(code, count);
     out.reserve(out.size() + count);
     for (std::size_t k = 0; k < count; ++k) {
       const Picoseconds at{first.start.value() +
                            static_cast<double>(k) * interval.value()};
-      out.push_back(to_raw(at, words[k]));
+      out.push_back(to_raw(at, code, words[k]));
     }
   }
 
@@ -490,17 +508,35 @@ class StructuralEngineHandle final : public IMeasureEngine {
   }
 
   EngineBatchStats take_batch_stats() override {
-    const sim::Scheduler& sched = sim_.scheduler();
     EngineBatchStats stats;
-    stats.sim_events = sched.executed_events() - events_mark_;
-    stats.sim_allocs = sched.allocation_count() - allocs_mark_;
-    events_mark_ = sched.executed_events();
-    allocs_mark_ = sched.allocation_count();
+    stats.sim_events = total_events() - events_mark_;
+    stats.sim_allocs = total_allocs() - allocs_mark_;
+    events_mark_ += stats.sim_events;
+    allocs_mark_ += stats.sim_allocs;
     return stats;
   }
 
  private:
-  std::vector<ThermoWord> run_words(std::size_t count) {
+  [[nodiscard]] DelayCode resolve_code(const MeasureRequest& req) const {
+    return req.code ? *req.code : ctx_.current_code();
+  }
+
+  // Scheduler counters plus their compiled-kernel analogues (root-queue
+  // pops / steady-state container growth), so stats stay meaningful in
+  // either execution mode.
+  [[nodiscard]] std::uint64_t total_events() const {
+    const std::uint64_t base = sim_.scheduler().executed_events();
+    const sim::CompiledKernel* k = system_ ? system_->kernel() : nullptr;
+    return k ? base + k->events_executed() : base;
+  }
+  [[nodiscard]] std::uint64_t total_allocs() const {
+    const std::uint64_t base = sim_.scheduler().allocation_count();
+    const sim::CompiledKernel* k = system_ ? system_->kernel() : nullptr;
+    return k ? base + k->allocations() : base;
+  }
+
+  std::vector<ThermoWord> run_words(DelayCode code, std::size_t count) {
+    system_->set_code(code);
     auto words = system_->run_measures(count, /*configure_first=*/!configured_);
     configured_ = true;
     if (ctx_.has_word_hook()) {
@@ -509,21 +545,23 @@ class StructuralEngineHandle final : public IMeasureEngine {
     return words;
   }
 
-  Measurement to_measurement(Picoseconds at, const ThermoWord& word) {
+  Measurement to_measurement(Picoseconds at, DelayCode code,
+                             const ThermoWord& word) {
     Measurement m;
     m.timestamp = at;
     m.target = SenseTarget::kVdd;
-    m.code = code_;
+    m.code = code;
     m.word = word;
-    m.bin = decode(word, code_);
+    m.bin = decode(word, code);
     return m;
   }
 
-  [[nodiscard]] RawSample to_raw(Picoseconds at, const ThermoWord& word) const {
+  [[nodiscard]] RawSample to_raw(Picoseconds at, DelayCode code,
+                                 const ThermoWord& word) const {
     RawSample raw;
     raw.timestamp = at;
     raw.target = SenseTarget::kVdd;
-    raw.code = code_;
+    raw.code = code;
     raw.word = word;
     return raw;
   }

@@ -364,6 +364,10 @@ using EngineHandle = std::unique_ptr<IMeasureEngine>;
 struct EngineSiteOptions {
   CodePolicyConfig code_policy;
   bool fault_hooks = false;
+  // Structural sites only: lower the netlist to the compiled kernel when
+  // the topology allows (sim/lower.h). False pins the site to the
+  // event-driven scheduler — the conformance oracle.
+  bool structural_compile = true;
 };
 
 // Behavioral handle: wraps a BehavioralEngine bound to `rails`.
@@ -381,10 +385,13 @@ bool prewarm_sense_ladders(IMeasureEngine& engine, DelayCode code);
 std::size_t share_sense_ladders(IMeasureEngine& dst, const IMeasureEngine& src);
 
 // Gate-level handle: builds a private sim::Simulator + FullStructuralSystem
-// netlist around copies of `array`/`pg`. The delay code is resolved from the
-// code policy once (window tuning included) and hard-selects the PG tap, so
-// supports_code_trim() is false; auto_range is rejected. Build on the thread
-// that will call measure(): the netlist is thread-confined.
+// netlist around copies of `array`/`pg`, lowered to a compiled kernel when
+// the topology allows (sim/lower.h). The PG MUX selects are the FSM's live
+// code register, so the code policy runs structurally: window tuning picks
+// the starting code, per-measure resolution follows the context
+// (auto_range included — a code change reloads the register through INIT).
+// Build on the thread that will call measure(): the netlist is
+// thread-confined.
 [[nodiscard]] EngineHandle make_structural_engine(
     const SensorArray& array, const PulseGenerator& pg, analog::RailPair rails,
     Picoseconds control_period, const EngineSiteOptions& options);

@@ -69,16 +69,22 @@ StructuralSensor build_structural_sensor(sim::Simulator& sim,
   s.p_cmd = &sim.net(name + ".p_cmd");
   s.cp_cmd = &sim.net(name + ".cp_cmd");
 
-  // Select nets tied to the delay code.
-  sim::Net& s0 = sim.net(name + ".sel0");
-  sim::Net& s1 = sim.net(name + ".sel1");
-  sim::Net& s2 = sim.net(name + ".sel2");
-  sim.drive(s0, Picoseconds{0.0},
-            sim::from_bool((code.value() >> 0) & 1));
-  sim.drive(s1, Picoseconds{0.0},
-            sim::from_bool((code.value() >> 1) & 1));
-  sim.drive(s2, Picoseconds{0.0},
-            sim::from_bool((code.value() >> 2) & 1));
+  // MUX select nets: live (caller-provided, e.g. the FSM's code register Q
+  // pins) or tied constant to the delay code.
+  const bool live_sel = options.select_nets[0] != nullptr &&
+                        options.select_nets[1] != nullptr &&
+                        options.select_nets[2] != nullptr;
+  sim::Net& s0 = live_sel ? *options.select_nets[0] : sim.net(name + ".sel0");
+  sim::Net& s1 = live_sel ? *options.select_nets[1] : sim.net(name + ".sel1");
+  sim::Net& s2 = live_sel ? *options.select_nets[2] : sim.net(name + ".sel2");
+  if (!live_sel) {
+    sim.drive(s0, Picoseconds{0.0},
+              sim::from_bool((code.value() >> 0) & 1));
+    sim.drive(s1, Picoseconds{0.0},
+              sim::from_bool((code.value() >> 1) & 1));
+    sim.drive(s2, Picoseconds{0.0},
+              sim::from_bool((code.value() >> 2) & 1));
+  }
 
   // Common input buffering (present on both paths).
   sim::Net& p_buf = sim.net(name + ".p_buf");

@@ -18,6 +18,7 @@
 // bench A5 assert they agree.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "core/control_fsm.h"
@@ -57,10 +58,16 @@ struct BuilderOptions {
   // Per-level delay of the MUX tree (identical in both paths; cancels).
   Picoseconds mux_delay{48.0};
   SensePolarity polarity = SensePolarity::kHighSense;
+  // Live MUX select nets (LSB first). When set, the PG tap follows these
+  // nets at run time — e.g. the control FSM's Delay-Code register Q pins —
+  // and `code` is ignored. When null the selects are tied constant to
+  // `code` for the lifetime of the netlist.
+  std::array<sim::Net*, 3> select_nets{};
 };
 
 // Instantiates the sensor datapath. `code` selects the delay-line tap via the
-// MUX select nets (tied constant for the run).
+// MUX select nets (tied constant for the run) unless
+// `options.select_nets` routes live nets into the tree.
 [[nodiscard]] StructuralSensor build_structural_sensor(
     sim::Simulator& sim, const std::string& name, const SensorArray& array,
     const PulseGenerator& pg, DelayCode code, analog::RailPair rails,

@@ -153,9 +153,6 @@ ScanGrid::ScanGrid(const scan::Floorplan& floorplan, ScanGridConfig config,
   PSNT_CHECK(config_.samples_per_site > 0, "need at least one sample");
   PSNT_CHECK(config_.interval.value() > 0.0, "sample interval must advance");
   PSNT_CHECK(vdd_factory != nullptr, "a vdd RailFactory is required");
-  PSNT_CHECK(config_.fidelity == SiteFidelity::kBehavioral ||
-                 config_.code_policy == CodePolicy::kFixed,
-             "auto-ranging requires the behavioral fidelity");
   PSNT_CHECK(config_.resilience.votes >= 1 &&
                  config_.resilience.votes % 2 == 1,
              "resilience votes must be odd (majority needs a tiebreak)");
@@ -267,6 +264,7 @@ void ScanGrid::ensure_engine(Site& site) {
 
   core::EngineSiteOptions options;
   options.fault_hooks = config_.injector != nullptr;
+  options.structural_compile = config_.structural_compile;
   options.code_policy.initial = config_.code;
   options.code_policy.window = config_.code_window;
   options.code_policy.auto_range =

@@ -144,6 +144,11 @@ struct ScanGridConfig {
   std::uint64_t seed = 2026;
   core::ThermometerConfig thermometer;
   SiteFidelity fidelity = SiteFidelity::kBehavioral;
+  // Structural sites only: lower each site's netlist into the compiled
+  // evaluation kernel (sim/lower) after elaboration. Off forces the
+  // event-driven scheduler — the conformance oracle, and the path the
+  // grid_structural perf baseline is pinned to.
+  bool structural_compile = true;
   CodePolicy code_policy = CodePolicy::kFixed;
   // When set, every site engine comes from this factory and `fidelity` is
   // ignored (see EngineFactory). Factory engines are built lazily on the
@@ -154,7 +159,7 @@ struct ScanGridConfig {
   // When set, each site's starting Delay Code is resolved once at engine
   // construction by core::tune_for_window over this window (Sec. III-A),
   // instead of taking `code` as-is. Works for both fidelities (the
-  // structural netlist hard-selects the tuned tap).
+  // structural netlist loads the tuned tap through its live code register).
   std::optional<core::CodeWindow> code_window;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlockProducer;
   // Per-shard ring capacity (rounded up to a power of two).

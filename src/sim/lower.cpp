@@ -1,0 +1,754 @@
+// Lowering pass + compiled-kernel runtime. See lower.h for the contract.
+//
+// The runtime is a hybrid of a (tiny) root event queue and levelized
+// combinational sweeps:
+//
+//  * Roots are external drives plus transitions parked across a batch
+//    boundary. They pop in (time, insertion-seq) order — the scheduler's
+//    ordering guarantee.
+//  * Popping every root at one timestamp seeds a *batch*: a single sweep of
+//    the levelized gate array. Each dirtied element is visited exactly once,
+//    after all of its inputs are final, and replays its input transitions in
+//    time order against the replicated Net::schedule_level slot algebra —
+//    inertial cancellation, keep-earlier-same-value, no-op suppression.
+//  * A generated transition is committed eagerly (applied to the dense net
+//    state, fanout dirtied) only below the batch's *commit horizon*:
+//      min(next root time, run_until end, batch time + min clk-to-q).
+//    Below that horizon no future schedule call can arrive before the
+//    transition's apply time, so it is provably uncancellable. At or above
+//    it, the transition parks as the net's pending slot and becomes a root.
+//
+// The clk-to-q term exists because DFF Q updates never commit in-sweep (a Q
+// edge re-enters the levelized array at level 0, which a single-pass sweep
+// cannot revisit); they always park. Since every Q request lands at least
+// min(t_clk_to_q) after its trigger, capping eager commits to that horizon
+// guarantees no parked Q root ever lands below an already-committed
+// transition — which is exactly the invariant that makes eager commits
+// sound. Everything else — multi-edge waveform replay per net, matured
+// pending flush, call-time tie-breaks at equal timestamps — mirrors the
+// event scheduler's (time, seq) semantics; the tests_compile suite
+// randomizes netlists and stimuli against the event-driven oracle.
+#include "sim/lower.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "analog/flipflop_model.h"
+#include "sim/delay_line.h"
+#include "sim/dff.h"
+#include "sim/gates.h"
+#include "sim/supply_inverter.h"
+#include "util/error.h"
+
+namespace psnt::sim {
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<CompiledKernel> CompiledKernel::compile(Simulator& sim) {
+  // In-flight events cannot be imported: the scheduler's closures are
+  // opaque. Compile from a quiescent netlist or not at all.
+  if (!sim.scheduler().empty()) return nullptr;
+
+  const std::size_t net_count = sim.net_count();
+  for (std::size_t i = 0; i < net_count; ++i) {
+    if (sim.net_at(i).pending_active()) return nullptr;
+  }
+
+  auto kernel = std::unique_ptr<CompiledKernel>(new CompiledKernel());
+  CompiledKernel& k = *kernel;
+  k.sim_ = &sim;
+  k.nets_.resize(net_count);
+
+  // Every listener the components below register is accounted for; any
+  // other subscriber (test probe, VCD hook) would be silently starved by the
+  // compiled kernel, so its presence refuses the compile. The running count
+  // doubles as each pin's listener index: components subscribe their pins
+  // during construction, and children a composite builds mid-constructor are
+  // appended to the component list before their parent, so walking the list
+  // in order re-enumerates subscriptions exactly. Listener indexes order
+  // same-net evaluations at equal-time events (see record_before).
+  std::vector<std::uint32_t> expected_listeners(net_count, 0);
+  std::size_t max_inputs = 1;
+
+  for (const auto& comp : sim.components()) {
+    Component* c = comp.get();
+    if (dynamic_cast<DelayLine*>(c) != nullptr) {
+      // Inert composite: its buffers registered themselves as components
+      // and its taps are ordinary nets; the DelayLine itself listens to
+      // nothing.
+      continue;
+    }
+    Element e;
+    if (auto* dff = dynamic_cast<DFlipFlop*>(c)) {
+      e.op = Op::kDff;
+      e.out = dff->q_net().id();
+      e.in_begin = static_cast<std::uint32_t>(k.input_pool_.size());
+      k.input_pool_.push_back(dff->d_net().id());
+      k.input_lidx_.push_back(expected_listeners[dff->d_net().id()]++);
+      k.input_pool_.push_back(dff->cp_net().id());
+      k.input_lidx_.push_back(expected_listeners[dff->cp_net().id()]++);
+      e.in_count = 2;
+      e.ff = &dff->model();
+      e.d_last_change = dff->d_last_change();
+      e.last_edge = dff->last_edge();
+      e.has_edge = dff->has_edge();
+      e.t_hold = from_ps(dff->model().params().t_hold);
+      e.t_clk_to_q = from_ps(dff->model().params().t_clk_to_q);
+      if (!k.has_dffs_ || e.t_clk_to_q < k.min_clk_to_q_) {
+        k.min_clk_to_q_ = e.t_clk_to_q;
+      }
+      k.has_dffs_ = true;
+      ++k.stats_.flipflops;
+    } else if (auto* si = dynamic_cast<SupplyInverter*>(c)) {
+      e.op = Op::kSupplyInv;
+      e.out = si->y_net().id();
+      e.in_begin = static_cast<std::uint32_t>(k.input_pool_.size());
+      k.input_pool_.push_back(si->a_net().id());
+      k.input_lidx_.push_back(expected_listeners[si->a_net().id()]++);
+      e.in_count = 1;
+      e.si = si;
+      ++k.stats_.supply_inverters;
+    } else if (auto* gate = dynamic_cast<CombGate*>(c)) {
+      switch (gate->kind()) {
+        case GateKind::kInv: e.op = Op::kInv; break;
+        case GateKind::kBuf: e.op = Op::kBuf; break;
+        case GateKind::kNand2: e.op = Op::kNand2; break;
+        case GateKind::kNor2: e.op = Op::kNor2; break;
+        case GateKind::kAnd2: e.op = Op::kAnd2; break;
+        case GateKind::kOr2: e.op = Op::kOr2; break;
+        case GateKind::kXor2: e.op = Op::kXor2; break;
+        case GateKind::kMux2: e.op = Op::kMux2; break;
+        case GateKind::kGeneric:
+          e.op = Op::kGeneric;
+          e.generic = gate;
+          break;
+      }
+      e.out = gate->output().id();
+      e.in_begin = static_cast<std::uint32_t>(k.input_pool_.size());
+      for (const Net* in : gate->inputs()) {
+        k.input_pool_.push_back(in->id());
+        k.input_lidx_.push_back(expected_listeners[in->id()]++);
+      }
+      e.in_count = static_cast<std::uint32_t>(gate->inputs().size());
+      e.delay = gate->delay_fs();
+      ++k.stats_.comb_gates;
+    } else {
+      return nullptr;  // unknown component type: not loweable
+    }
+    max_inputs = std::max(max_inputs, static_cast<std::size_t>(e.in_count));
+    // Single-driver check.
+    if (k.nets_[e.out].driver != -1) return nullptr;
+    k.nets_[e.out].driver = static_cast<std::int32_t>(k.elements_.size());
+    k.elements_.push_back(e);
+  }
+
+  for (std::size_t i = 0; i < net_count; ++i) {
+    if (sim.net_at(i).listener_count() != expected_listeners[i]) {
+      return nullptr;  // an external listener would be starved
+    }
+  }
+  // listeners_unchanged(): probes attached after lowering would be just as
+  // starved as ones present at compile time, so record the attach counter.
+  k.listener_version_ = sim.listener_version();
+
+  // Net -> consuming elements (also the runtime fanout map).
+  std::vector<std::vector<std::uint32_t>> fanout(net_count);
+  for (std::size_t ei = 0; ei < k.elements_.size(); ++ei) {
+    const Element& e = k.elements_[ei];
+    for (std::uint32_t j = 0; j < e.in_count; ++j) {
+      const std::uint32_t in = k.input_pool_[e.in_begin + j];
+      auto& f = fanout[in];
+      // Dedupe within an element (a MUX with two data pins tied to one net
+      // still evaluates once per transition of it). One element's pins are
+      // appended consecutively, so a duplicate is always the back entry.
+      if (f.empty() || f.back() != ei) {
+        f.push_back(static_cast<std::uint32_t>(ei));
+      }
+    }
+  }
+
+  // Levelization (Kahn over the combinational graph, cut at DFF Q outputs:
+  // a Q net is a level-0 source, which is what breaks state feedback loops).
+  // Every net resolves exactly once and every input pin decrements exactly
+  // once, so pending pin counts reach exactly zero for acyclic netlists.
+  std::vector<std::uint32_t> net_level(net_count, 0);
+  std::vector<std::uint32_t> element_level(k.elements_.size(), 0);
+  std::vector<std::uint32_t> pending_pins(k.elements_.size(), 0);
+  for (std::size_t ei = 0; ei < k.elements_.size(); ++ei) {
+    pending_pins[ei] = k.elements_[ei].in_count;
+  }
+  std::vector<std::uint32_t> resolve_queue;
+  for (std::uint32_t i = 0; i < net_count; ++i) {
+    const std::int32_t d = k.nets_[i].driver;
+    const bool comb_driven =
+        d >= 0 && k.elements_[static_cast<std::size_t>(d)].op != Op::kDff;
+    if (!comb_driven) resolve_queue.push_back(i);  // level-0 source
+  }
+  std::size_t leveled = 0;
+  std::uint32_t max_level = 0;
+  std::size_t rq_head = 0;
+  while (rq_head < resolve_queue.size()) {
+    const std::uint32_t net = resolve_queue[rq_head++];
+    for (const std::uint32_t ei : fanout[net]) {
+      Element& e = k.elements_[ei];
+      std::uint32_t occurrences = 0;
+      for (std::uint32_t j = 0; j < e.in_count; ++j) {
+        if (k.input_pool_[e.in_begin + j] == net) ++occurrences;
+      }
+      pending_pins[ei] -= occurrences;
+      if (pending_pins[ei] != 0) continue;
+      std::uint32_t lvl = 0;
+      for (std::uint32_t j = 0; j < e.in_count; ++j) {
+        lvl = std::max(lvl, net_level[k.input_pool_[e.in_begin + j]] + 1);
+      }
+      element_level[ei] = lvl;
+      max_level = std::max(max_level, lvl);
+      ++leveled;
+      if (e.op != Op::kDff) {
+        net_level[e.out] = lvl;
+        resolve_queue.push_back(e.out);
+      }
+    }
+  }
+  if (leveled != k.elements_.size()) return nullptr;  // combinational cycle
+
+  for (std::size_t ei = 0; ei < k.elements_.size(); ++ei) {
+    k.elements_[ei].level = element_level[ei];
+  }
+  k.mark_.resize(k.elements_.size());
+  for (std::size_t ei = 0; ei < k.elements_.size(); ++ei) {
+    k.mark_[ei] = element_level[ei];  // epoch 0: never matches a live batch
+  }
+  k.dirty_.resize(static_cast<std::size_t>(max_level) + 1);
+
+  // Flatten the fanout map.
+  for (std::uint32_t i = 0; i < net_count; ++i) {
+    NetState& n = k.nets_[i];
+    n.fanout_begin = static_cast<std::uint32_t>(k.fanout_pool_.size());
+    for (const std::uint32_t ei : fanout[i]) k.fanout_pool_.push_back(ei);
+    n.fanout_end = static_cast<std::uint32_t>(k.fanout_pool_.size());
+  }
+
+  // Horizon analysis: a batch can create a parked Q root only if a flop pin
+  // transitions during its sweep, and in-sweep commits never leave the
+  // root's combinational cone. Backward closure from every CP and D pin
+  // over non-DFF elements; a Q output cuts the walk (a Q transition pops as
+  // its own root and re-runs the test there). Batches whose root is in
+  // neither cone — and D-cone batches outside every flop's hold window
+  // (hold_guard_) — run with the horizon released: whole cascades commit in
+  // one sweep, bounded only by the next root's time.
+  k.cp_cone_.assign(net_count, 0);
+  k.d_cone_.assign(net_count, 0);
+  {
+    std::vector<std::uint32_t> work;
+    const auto close = [&k, &work](std::vector<std::uint8_t>& cone,
+                                   std::uint32_t pin_offset) {
+      work.clear();
+      for (const Element& e : k.elements_) {
+        if (e.op != Op::kDff) continue;
+        const std::uint32_t pin = k.input_pool_[e.in_begin + pin_offset];
+        if (!cone[pin]) {
+          cone[pin] = 1;
+          work.push_back(pin);
+        }
+      }
+      while (!work.empty()) {
+        const std::uint32_t net = work.back();
+        work.pop_back();
+        const std::int32_t d = k.nets_[net].driver;
+        if (d < 0) continue;
+        const Element& e = k.elements_[static_cast<std::size_t>(d)];
+        if (e.op == Op::kDff) continue;
+        for (std::uint32_t j = 0; j < e.in_count; ++j) {
+          const std::uint32_t in = k.input_pool_[e.in_begin + j];
+          if (!cone[in]) {
+            cone[in] = 1;
+            work.push_back(in);
+          }
+        }
+      }
+    };
+    close(k.d_cone_, 0);
+    close(k.cp_cone_, 1);
+  }
+  for (const Element& e : k.elements_) {
+    if (e.op == Op::kDff && e.has_edge) {
+      k.hold_guard_ = std::max(k.hold_guard_, e.last_edge + e.t_hold);
+    }
+  }
+
+  // Seed runtime state from the event-driven simulator.
+  for (std::uint32_t i = 0; i < net_count; ++i) {
+    const Net& src = sim.net_at(i);
+    k.nets_[i].value = src.value();
+    k.nets_[i].last_change = src.last_change();
+  }
+  k.now_ = sim.scheduler().now();
+  k.scratch_.resize(max_inputs);
+  k.cursor_.resize(max_inputs);
+  k.topology_version_ = sim.topology_version();
+  k.stats_.nets = net_count;
+  k.stats_.levels = static_cast<std::size_t>(max_level) + 1;
+  return kernel;
+}
+
+bool CompiledKernel::listeners_unchanged() const {
+  return sim_->listener_version() == listener_version_;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime
+// ---------------------------------------------------------------------------
+
+void CompiledKernel::drive(Net& net, Picoseconds at, Logic v) {
+  const SimTime t = from_ps(at);
+  PSNT_CHECK(t >= now_, "compiled kernel: drive in the past");
+  queue_.push(Root{t, seq_++, net.id(), 0, v, true, now_});
+}
+
+void CompiledKernel::run_until(Picoseconds t) {
+  const SimTime t_end = from_ps(t);
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    run_batch(queue_.top().time, t_end);
+  }
+  if (t_end > now_) now_ = t_end;
+  sync_nets();
+}
+
+bool CompiledKernel::commit_ok(SimTime target, SimTime t_batch,
+                               SimTime t_end) const {
+  if (target > t_end) return false;
+  if (!queue_.empty() && target >= queue_.top().time) return false;
+  if (tight_batch_ && target >= t_batch + min_clk_to_q_) return false;
+  return true;
+}
+
+// Strict "schedules before" order of two schedule calls — the event
+// scheduler's seq order. Same-time calls were both made during the cascade
+// at that time: applies pop in seq order, each notifying listeners in
+// subscription order, so the order is (triggering apply's own order,
+// listener index). Recursing through trigger entries terminates because
+// call times strictly decrease along a trigger chain, and never reaches a
+// cleared wave: resolved roots stop the recursion, and an unresolved record
+// only ties a resolved one's call time within the batch that parked it.
+bool CompiledKernel::record_before(const SchedRecord& a,
+                                   const SchedRecord& b) const {
+  if (a.call_time != b.call_time) return a.call_time < b.call_time;
+  if (a.resolved() || b.resolved()) {
+    return a.resolved() && b.resolved() ? a.seq < b.seq : a.resolved();
+  }
+  if (a.trigger_net == b.trigger_net && a.trigger_idx == b.trigger_idx) {
+    return a.lidx < b.lidx;
+  }
+  return record_before(nets_[a.trigger_net].wave[a.trigger_idx].rec,
+                       nets_[b.trigger_net].wave[b.trigger_idx].rec);
+}
+
+void CompiledKernel::commit_transition(std::uint32_t net, SimTime at,
+                                       const SchedRecord& rec, Logic v) {
+  NetState& n = nets_[net];
+  if (n.wave_epoch != epoch_) {
+    n.wave.clear();
+    n.wave_epoch = epoch_;
+    n.base_value = n.value;
+  }
+  push_counted(n.wave, WaveEntry{at, v, rec});
+  n.value = v;
+  n.last_change = at;
+  if (!n.sync_dirty) {
+    n.sync_dirty = true;
+    push_counted(sync_ids_, net);
+  }
+  for (std::uint32_t idx = n.fanout_begin; idx < n.fanout_end; ++idx) {
+    const std::uint32_t ei = fanout_pool_[idx];
+    std::uint64_t& m = mark_[ei];
+    if ((m >> 32) != epoch_) {
+      const std::uint32_t lvl = static_cast<std::uint32_t>(m);
+      m = (static_cast<std::uint64_t>(epoch_) << 32) | lvl;
+      push_counted(dirty_[lvl], ei);
+      dirty_lo_ = std::min(dirty_lo_, lvl);
+      dirty_hi_ = std::max(dirty_hi_, lvl);
+    }
+  }
+}
+
+// Parks stage into park_ids_ and enqueue at batch end (flush_parks): their
+// root seqs must be assigned in the event scheduler's schedule order, which
+// is only fully known — and only comparable, while this batch's waves are
+// still alive — once the sweep finishes.
+void CompiledKernel::park(std::uint32_t net) {
+  NetState& n = nets_[net];
+  n.pending.queued = true;
+  push_counted(park_ids_, net);
+}
+
+void CompiledKernel::flush_parks() {
+  if (park_ids_.empty()) return;
+  std::size_t w = 0;
+  for (const std::uint32_t id : park_ids_) {
+    const Pending& p = nets_[id].pending;
+    if (p.active && p.queued) park_ids_[w++] = id;  // drop superseded parks
+  }
+  park_ids_.resize(w);
+  if (w > 1) {
+    std::sort(park_ids_.begin(), park_ids_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                const Pending& pa = nets_[a].pending;
+                const Pending& pb = nets_[b].pending;
+                if (pa.target != pb.target) return pa.target < pb.target;
+                return record_before(pa.rec, pb.rec);
+              });
+  }
+  for (const std::uint32_t id : park_ids_) {
+    NetState& n = nets_[id];
+    queue_.push(Root{n.pending.target, seq_++, id, n.qgen, Logic::X, false,
+                     n.pending.rec.call_time});
+  }
+  park_ids_.clear();
+}
+
+// Replica of Net::schedule_level against the dense pending slot, extended
+// with the matured-pending flush: when the in-flight transition's apply
+// event ordered before the apply that triggered this call, the event
+// scheduler would have popped it first — replay that commit before running
+// the slot algebra. At an exact target/trigger-time tie the pop order is
+// the schedule order of the two events, which record_before replays.
+void CompiledKernel::slot_request(std::uint32_t net, std::uint32_t trig_net,
+                                  std::uint32_t trig_idx, std::uint32_t lidx,
+                                  SimTime target, Logic v) {
+  const WaveEntry& trig = nets_[trig_net].wave[trig_idx];
+  const SimTime call_t = trig.time;
+  NetState& n = nets_[net];
+  Pending& p = n.pending;
+  if (p.active && (p.target < call_t ||
+                   (p.target == call_t && record_before(p.rec, trig.rec)))) {
+    // Matured. Always commitable: target <= call_t, and call_t itself was
+    // committed under this batch's horizon.
+    if (p.queued) ++n.qgen;  // retire the staged root; it applies here
+    p.active = false;
+    p.queued = false;
+    if (p.value != n.value) {
+      commit_transition(net, p.target, p.rec, p.value);
+    }
+  }
+  if (p.active) {
+    if (p.value == v && p.target <= target) return;  // keep the earlier edge
+    ++n.qgen;  // inertial cancel (stales any staged root)
+    p.queued = false;
+  } else if (v == n.value) {
+    return;  // nothing pending, no change requested
+  }
+  p.active = true;
+  p.value = v;
+  p.target = target;
+  p.rec = SchedRecord{call_t, 0, trig_net, trig_idx, lidx};
+}
+
+void CompiledKernel::finalize_output(std::uint32_t net, SimTime t_batch,
+                                     SimTime t_end, bool defer_to_queue) {
+  NetState& n = nets_[net];
+  Pending& p = n.pending;
+  if (!p.active || p.queued) return;
+  if (!defer_to_queue && commit_ok(p.target, t_batch, t_end)) {
+    p.active = false;
+    if (p.value != n.value) {
+      commit_transition(net, p.target, p.rec, p.value);
+    }
+  } else {
+    park(net);
+  }
+}
+
+// Evaluates e against scratch_, input arrival time t. Returns the output
+// value and writes the (possibly supply-dependent) propagation delay.
+Logic CompiledKernel::eval_element(const Element& e, SimTime t,
+                                   SimTime& delay) {
+  ++gate_evals_;
+  delay = e.delay;
+  switch (e.op) {
+    case Op::kInv: return logic_not(scratch_[0]);
+    case Op::kBuf: return normalize(scratch_[0]);
+    case Op::kNand2: return logic_not(logic_and(scratch_[0], scratch_[1]));
+    case Op::kNor2: return logic_not(logic_or(scratch_[0], scratch_[1]));
+    case Op::kAnd2: return logic_and(scratch_[0], scratch_[1]);
+    case Op::kOr2: return logic_or(scratch_[0], scratch_[1]);
+    case Op::kXor2: return logic_xor(scratch_[0], scratch_[1]);
+    case Op::kMux2: return logic_mux(scratch_[0], scratch_[1], scratch_[2]);
+    case Op::kGeneric:
+      generic_scratch_.assign(scratch_.begin(),
+                              scratch_.begin() + e.in_count);
+      return e.generic->evaluate(generic_scratch_);
+    case Op::kSupplyInv: {
+      // The supply-sensitive delay is evaluated at the input arrival time
+      // against the instantaneous rail voltage — exactly on_input().
+      const Volt v_rail = e.si->rails().effective(to_ps(t));
+      delay = from_ps(e.si->model().delay(v_rail, e.si->c_load()));
+      return logic_not(scratch_[0]);
+    }
+    case Op::kDff: break;  // unreachable
+  }
+  return Logic::X;
+}
+
+void CompiledKernel::process_comb(Element& e, SimTime t_batch, SimTime t_end) {
+  const std::uint32_t* ins = &input_pool_[e.in_begin];
+  const std::uint32_t n_in = e.in_count;
+  constexpr std::uint32_t kDone = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t fresh = 0;
+  std::uint32_t fresh_pin = 0;
+  for (std::uint32_t i = 0; i < n_in; ++i) {
+    const NetState& in = nets_[ins[i]];
+    if (in.wave_epoch == epoch_ && !in.wave.empty()) {
+      scratch_[i] = in.base_value;
+      cursor_[i] = 0;
+      ++fresh;
+      fresh_pin = i;
+    } else {
+      scratch_[i] = in.value;
+      cursor_[i] = kDone;
+    }
+  }
+  if (fresh == 0) return;
+
+  // The dominant shape — one fresh input carrying one transition (linear
+  // chains, single-edge broadcast) — skips the cursor merge entirely.
+  if (fresh == 1 && nets_[ins[fresh_pin]].wave.size() == 1) {
+    const std::uint32_t src = ins[fresh_pin];
+    const WaveEntry& w = nets_[src].wave[0];
+    scratch_[fresh_pin] = w.value;
+    SimTime delay = 0;
+    const Logic out = eval_element(e, w.time, delay);
+    slot_request(e.out, src, 0, input_lidx_[e.in_begin + fresh_pin],
+                 w.time + delay, out);
+    finalize_output(e.out, t_batch, t_end, /*defer_to_queue=*/false);
+    return;
+  }
+
+  // One evaluation per input *transition*, replayed in the scheduler's pop
+  // order — (time, then schedule-record order at ties) — NOT collapsed per
+  // distinct time: an intermediate same-time evaluation can cancel a
+  // pending edge that the final one then re-requests at a later target, and
+  // the keep-earlier-same-value rule makes that observable.
+  for (;;) {
+    std::uint32_t best = kDone;
+    for (std::uint32_t i = 0; i < n_in; ++i) {
+      if (cursor_[i] == kDone) continue;
+      const auto& wave = nets_[ins[i]].wave;
+      if (cursor_[i] >= wave.size()) continue;
+      const WaveEntry& w = wave[cursor_[i]];
+      if (best == kDone) {
+        best = i;
+        continue;
+      }
+      const WaveEntry& bw = nets_[ins[best]].wave[cursor_[best]];
+      if (w.time < bw.time ||
+          (w.time == bw.time && record_before(w.rec, bw.rec))) {
+        best = i;
+      }
+    }
+    if (best == kDone) break;
+    // Advance every pin fed by the same net together (their cursors run in
+    // lockstep over the shared wave): the event sim applies the net once and
+    // every listener sees the new value. Its duplicate-pin re-evaluations are
+    // identical requests the slot algebra reduces to one, keeping the first
+    // pin's schedule record — so `best` (the lowest such pin) carries the
+    // listener index the surviving pending got.
+    const std::uint32_t src = ins[best];
+    const std::uint32_t entry_idx = cursor_[best];
+    const std::uint32_t lidx = input_lidx_[e.in_begin + best];
+    const SimTime t = nets_[src].wave[entry_idx].time;
+    const Logic nv = nets_[src].wave[entry_idx].value;
+    for (std::uint32_t i = 0; i < n_in; ++i) {
+      if (ins[i] == src && cursor_[i] != kDone) {
+        scratch_[i] = nv;
+        ++cursor_[i];
+      }
+    }
+    SimTime delay = 0;
+    const Logic out = eval_element(e, t, delay);
+    slot_request(e.out, src, entry_idx, lidx, t + delay, out);
+  }
+  finalize_output(e.out, t_batch, t_end, /*defer_to_queue=*/false);
+}
+
+void CompiledKernel::process_dff(Element& e, SimTime t_batch, SimTime t_end) {
+  const std::uint32_t d_net = input_pool_[e.in_begin];
+  const std::uint32_t cp_net = input_pool_[e.in_begin + 1];
+  const NetState& dn = nets_[d_net];
+  const NetState& cn = nets_[cp_net];
+  const bool d_fresh = dn.wave_epoch == epoch_ && !dn.wave.empty();
+  const bool cp_fresh = cn.wave_epoch == epoch_ && !cn.wave.empty();
+  Logic d_val = d_fresh ? dn.base_value : dn.value;
+  Logic cp_val = cp_fresh ? cn.base_value : cn.value;
+  std::size_t di = d_fresh ? 0 : dn.wave.size();
+  std::size_t ci = cp_fresh ? 0 : cn.wave.size();
+
+  const std::uint32_t d_lidx = input_lidx_[e.in_begin];
+  const std::uint32_t cp_lidx = input_lidx_[e.in_begin + 1];
+
+  while (di < dn.wave.size() || ci < cn.wave.size()) {
+    // Pick the next transition in the scheduler's pop order: time, then the
+    // applies' schedule order. When d and cp share one net, each entry is a
+    // single apply that notifies the d listener before the cp listener
+    // (subscription order), so the d cursor leads.
+    bool take_d;
+    if (di >= dn.wave.size()) {
+      take_d = false;
+    } else if (ci >= cn.wave.size()) {
+      take_d = true;
+    } else if (d_net == cp_net) {
+      take_d = di <= ci;
+    } else {
+      const WaveEntry& a = dn.wave[di];
+      const WaveEntry& b = cn.wave[ci];
+      take_d =
+          a.time != b.time ? a.time < b.time : record_before(a.rec, b.rec);
+    }
+    ++gate_evals_;
+    if (take_d) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(di++);
+      const WaveEntry& entry = dn.wave[idx];
+      d_val = entry.value;
+      // on_data: hold check against the most recent capture edge.
+      e.d_last_change = entry.time;
+      if (e.has_edge && entry.time - e.last_edge < e.t_hold) {
+        slot_request(e.out, d_net, idx, d_lidx, entry.time + e.t_clk_to_q,
+                     Logic::X);
+      }
+    } else {
+      const std::uint32_t idx = static_cast<std::uint32_t>(ci++);
+      const WaveEntry& entry = cn.wave[idx];
+      const Logic old_cp = cp_val;
+      cp_val = entry.value;
+      if (!(old_cp == Logic::L0 && entry.value == Logic::L1)) continue;
+      // on_clock, rising edge.
+      e.last_edge = entry.time;
+      e.has_edge = true;
+      hold_guard_ = std::max(hold_guard_, entry.time + e.t_hold);
+      const Logic d_now = normalize(d_val);
+      if (!is_known(d_now)) {
+        slot_request(e.out, cp_net, idx, cp_lidx, entry.time + e.t_clk_to_q,
+                     Logic::X);
+        continue;
+      }
+      const bool new_bit = d_now == Logic::L1;
+      const bool old_bit = nets_[e.out].value == Logic::L1;  // X/Z read as 0
+      const auto outcome = e.ff->sample(to_ps(e.d_last_change),
+                                        to_ps(entry.time), new_bit, old_bit);
+      slot_request(e.out, cp_net, idx,
+                   cp_lidx, entry.time + from_ps(outcome.clk_to_q),
+                   from_bool(outcome.captured_value));
+    }
+  }
+  // Q never commits in-sweep: a Q edge would re-enter the array at level 0.
+  // Park it; its root pops in time order and seeds its own batch.
+  finalize_output(e.out, t_batch, t_end, /*defer_to_queue=*/true);
+}
+
+void CompiledKernel::sweep(SimTime t_batch, SimTime t_end) {
+  // dirty_hi_ is re-read each level: in-sweep commits only ever dirty
+  // *higher* levels (fanout is strictly downhill; DFF Qs park instead).
+  for (std::uint32_t lvl = dirty_lo_; lvl <= dirty_hi_; ++lvl) {
+    auto& level_work = dirty_[lvl];
+    for (std::size_t i = 0; i < level_work.size(); ++i) {
+      Element& e = elements_[level_work[i]];
+      if (e.op == Op::kDff) {
+        process_dff(e, t_batch, t_end);
+      } else {
+        process_comb(e, t_batch, t_end);
+      }
+    }
+    level_work.clear();
+  }
+}
+
+void CompiledKernel::run_batch(SimTime t, SimTime t_end) {
+  now_ = t;
+  ++epoch_;
+  dirty_lo_ = std::numeric_limits<std::uint32_t>::max();
+  dirty_hi_ = 0;
+  // Pop the root cohort: every root at time t whose commit the scheduler
+  // could not have revoked before its pop. Delays are strictly positive, so
+  // the only activity at t between two same-time pops is the synchronous
+  // listener evaluation of each commit's DIRECT fanout — the one thing that
+  // can cancel a same-time event still in the queue is an earlier-seq commit
+  // feeding the candidate's driver. Such a candidate stays queued (its own
+  // batch replays the scheduler's pop-by-pop staling); everything else
+  // co-commits here, and the sweep merges the cohort's wave entries in
+  // resolved-seq order — exactly the scheduler's pop order. The clk-to-q
+  // horizon binds only when some member's cone can park a Q: it reaches a
+  // CP pin, or reaches a D pin while a flop's hold window is still open (a
+  // hold violation also parks an X at Q). Other batches cannot touch a flop
+  // slot, so their cascades commit all the way up to the next root's time.
+  cohort_nets_.clear();
+  tight_batch_ = false;
+  for (;;) {
+    const Root r = queue_.top();
+    if (!cohort_nets_.empty()) {
+      if (r.time != t) break;
+      if (!r.is_drive && cohort_feeds_driver(r.net)) break;
+    }
+    queue_.pop();
+    ++events_;
+    tight_batch_ = tight_batch_ ||
+                   (has_dffs_ && (cp_cone_[r.net] != 0 ||
+                                  (d_cone_[r.net] != 0 && t < hold_guard_)));
+    NetState& n = nets_[r.net];
+    // Root commits carry a *resolved* record — their root seq, assigned in
+    // schedule order at enqueue time — because the wave their original
+    // trigger chain lived in was cleared with its batch.
+    if (r.is_drive) {
+      // Net::force — supersedes any pending driver event.
+      ++n.qgen;
+      n.pending.active = false;
+      n.pending.queued = false;
+      if (r.value != n.value) {
+        commit_transition(r.net, t,
+                          SchedRecord{r.call_time, r.seq, kNoNet, 0, 0},
+                          r.value);
+      }
+    } else if (n.pending.active && n.pending.queued && n.qgen == r.qgen) {
+      const Pending p = n.pending;
+      n.pending.active = false;
+      n.pending.queued = false;
+      if (p.value != n.value) {
+        commit_transition(r.net, t,
+                          SchedRecord{p.rec.call_time, r.seq, kNoNet, 0, 0},
+                          p.value);
+      }
+    }  // else: superseded while parked — the generation check
+    cohort_nets_.push_back(r.net);
+    if (queue_.empty()) break;
+  }
+  sweep(t, t_end);
+  flush_parks();
+}
+
+// True when an already-committed cohort member directly feeds the driver of
+// `net` — the only configuration in which the scheduler's synchronous
+// notify-at-pop could revoke net's parked pending before its own pop.
+bool CompiledKernel::cohort_feeds_driver(std::uint32_t net) const {
+  const std::int32_t d = nets_[net].driver;
+  if (d < 0) return false;
+  const Element& e = elements_[static_cast<std::size_t>(d)];
+  for (std::uint32_t j = 0; j < e.in_count; ++j) {
+    const std::uint32_t in = input_pool_[e.in_begin + j];
+    for (const std::uint32_t m : cohort_nets_) {
+      if (m == in) return true;
+    }
+  }
+  return false;
+}
+
+void CompiledKernel::sync_nets() {
+  for (const std::uint32_t idx : sync_ids_) {
+    NetState& n = nets_[idx];
+    n.sync_dirty = false;
+    sim_->net_at(idx).mirror_value(n.value, n.last_change);
+  }
+  sync_ids_.clear();
+}
+
+}  // namespace psnt::sim

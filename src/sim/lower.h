@@ -1,0 +1,274 @@
+// Netlist lowering: compiles a static elaborated netlist into a flattened
+// evaluation kernel that replaces event scheduling on the hot path.
+//
+// The event-driven Scheduler is exact but pays queue traffic for every net
+// transition. When the topology is static, `CompiledKernel::compile` walks
+// the Simulator's component list and emits a levelized program: a flat gate
+// array in topological order (dense net-state vector, per-gate delay folded
+// into arrival times at evaluation) plus an explicit DFF state vector with
+// edge-triggered commit. At run time only *root* events — external drives
+// and transitions that cross a batch boundary — touch a priority queue;
+// everything in between is a pure arithmetic sweep over the levelized array.
+//
+// Bit-exactness contract: for any stimulus sequence, net values observed at
+// `run_until` boundaries are identical to the event-driven simulator's,
+// including inertial glitch suppression, X-propagation, DFF metastability /
+// hold / setup outcomes and supply-sensitive delays. The conformance tests
+// (tests_compile, tests_engine) assert this against the event-driven oracle.
+// The one intentional difference: listeners are NOT notified (probes and
+// per-component debug logs are silent in compiled mode), which is why
+// compile() refuses any netlist carrying listeners it did not account for.
+//
+// Lowering refuses (returns nullptr) when the netlist cannot be proven
+// equivalent: unknown component types, combinational cycles, multi-driven
+// nets, external listeners, in-flight scheduler events at compile time.
+// Callers fall back to the event-driven path — which stays the oracle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/logic.h"
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+
+namespace psnt::analog {
+class FlipFlopTimingModel;
+}
+
+namespace psnt::sim {
+
+class CombGate;
+class SupplyInverter;
+
+struct LowerStats {
+  std::size_t comb_gates = 0;
+  std::size_t flipflops = 0;
+  std::size_t supply_inverters = 0;
+  std::size_t nets = 0;
+  std::size_t levels = 0;
+};
+
+class CompiledKernel {
+ public:
+  // Lowers the elaborated netlist, seeding net values and DFF edge state
+  // from wherever the event-driven simulator currently stands. Returns
+  // nullptr when the netlist is not loweable (see file comment); the
+  // simulator is never modified by a refused compile.
+  static std::unique_ptr<CompiledKernel> compile(Simulator& sim);
+
+  // --- runtime (mirrors the Simulator API used by the measurement path) --
+  void drive(Net& net, Picoseconds at, Logic v);
+  void run_until(Picoseconds t);
+  [[nodiscard]] Picoseconds now() const { return to_ps(now_); }
+  [[nodiscard]] Logic value(const Net& net) const {
+    return nets_[net.id()].value;
+  }
+
+  // The Simulator topology version this kernel was lowered from. A mismatch
+  // means nets/components were added after compile: the kernel is stale and
+  // must not be run.
+  [[nodiscard]] std::uint64_t topology_version() const {
+    return topology_version_;
+  }
+
+  // True while no external listener has been attached since compile. A probe
+  // subscribed after lowering would be silently starved (compiled sweeps do
+  // not notify), so callers check this and fall back to the event-driven
+  // path when it turns false.
+  [[nodiscard]] bool listeners_unchanged() const;
+
+  // --- telemetry --------------------------------------------------------
+  // Root-queue pops: the compiled analogue of scheduler events. Everything
+  // else is sweep arithmetic.
+  [[nodiscard]] std::uint64_t events_executed() const { return events_; }
+  [[nodiscard]] std::uint64_t gate_evals() const { return gate_evals_; }
+  // Steady-state heap growth of kernel-owned containers (waves, dirty
+  // lists); ~0 after warmup, the compiled analogue of scheduler allocations.
+  [[nodiscard]] std::uint64_t allocations() const { return allocations_; }
+  [[nodiscard]] const LowerStats& stats() const { return stats_; }
+
+ private:
+  enum class Op : std::uint8_t {
+    kInv,
+    kBuf,
+    kNand2,
+    kNor2,
+    kAnd2,
+    kOr2,
+    kXor2,
+    kMux2,
+    kGeneric,
+    kSupplyInv,
+    kDff,
+  };
+
+  static constexpr std::uint32_t kNoNet = 0xFFFFFFFFu;
+
+  // Identifies one schedule call in the event scheduler's global seq order.
+  // Calls at different times order by call time. Calls at the same time were
+  // all made during the cascade at that time — applies pop in seq order and
+  // notify listeners in subscription order — so within a time the order is
+  // (triggering apply, listener index), where the triggering apply is a wave
+  // entry carrying its own record (see record_before). Roots — drives and
+  // transitions parked across a batch boundary — carry a resolved scalar
+  // seq instead (trigger_net == kNoNet): their relative order was fixed when
+  // they were enqueued, and their triggers' waves are gone.
+  struct SchedRecord {
+    SimTime call_time = 0;
+    std::uint64_t seq = 0;  // resolved roots only
+    std::uint32_t trigger_net = kNoNet;
+    std::uint32_t trigger_idx = 0;
+    std::uint32_t lidx = 0;  // listener index of the evaluating pin
+    [[nodiscard]] bool resolved() const { return trigger_net == kNoNet; }
+  };
+
+  // One in-flight transition per net — the compiled replica of
+  // Net::schedule_level's single pending slot, with the extra bookkeeping
+  // the kernel needs: the schedule record (orders its apply against
+  // equal-time events) and the root-queue binding.
+  struct Pending {
+    SimTime target = 0;
+    Logic value = Logic::X;
+    bool active = false;
+    bool queued = false;  // a root-queue entry currently represents it
+    SchedRecord rec;
+  };
+
+  // A transition committed during the current batch (epoch-tagged scratch).
+  struct WaveEntry {
+    SimTime time;
+    Logic value;
+    SchedRecord rec;
+  };
+
+  // Field order is deliberate: the per-element input scan in process_comb
+  // reads wave_epoch / value / base_value / wave-emptiness for every pin of
+  // every dirtied element — keeping those in the first cache line is worth
+  // several percent of the whole run.
+  struct NetState {
+    std::uint32_t wave_epoch = 0;
+    Logic value = Logic::X;
+    Logic base_value = Logic::X;  // value before this batch's first commit
+    bool sync_dirty = false;
+    std::vector<WaveEntry> wave;
+    SimTime last_change = 0;
+    std::uint32_t qgen = 0;  // bumped on cancel: stales root-queue entries
+    std::int32_t driver = -1;
+    std::uint32_t fanout_begin = 0;
+    std::uint32_t fanout_end = 0;
+    Pending pending;
+  };
+
+  struct Element {
+    Op op = Op::kGeneric;
+    std::uint32_t level = 0;
+    std::uint32_t out = 0;  // q for kDff
+    std::uint32_t in_begin = 0;
+    std::uint32_t in_count = 0;  // kDff: [d, cp]
+    SimTime delay = 0;           // comb gates only
+    const CombGate* generic = nullptr;     // Op::kGeneric
+    const SupplyInverter* si = nullptr;    // Op::kSupplyInv
+    // DFF replica state (seeded from the component at compile).
+    const analog::FlipFlopTimingModel* ff = nullptr;
+    SimTime d_last_change = 0;
+    SimTime last_edge = 0;
+    SimTime t_hold = 0;
+    SimTime t_clk_to_q = 0;
+    bool has_edge = false;
+  };
+
+  struct Root {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t net;
+    std::uint32_t qgen;  // commit entries: must match NetState::qgen
+    Logic value;         // drive entries
+    bool is_drive;
+    SimTime call_time;
+  };
+  struct RootAfter {
+    bool operator()(const Root& a, const Root& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  CompiledKernel() = default;
+
+  void run_batch(SimTime t, SimTime t_end);
+  void sweep(SimTime t_batch, SimTime t_end);
+  Logic eval_element(const Element& e, SimTime t, SimTime& delay);
+  void process_comb(Element& e, SimTime t_batch, SimTime t_end);
+  void process_dff(Element& e, SimTime t_batch, SimTime t_end);
+  void slot_request(std::uint32_t net, std::uint32_t trig_net,
+                    std::uint32_t trig_idx, std::uint32_t lidx, SimTime target,
+                    Logic v);
+  void finalize_output(std::uint32_t net, SimTime t_batch, SimTime t_end,
+                       bool defer_to_queue);
+  void commit_transition(std::uint32_t net, SimTime at,
+                         const SchedRecord& rec, Logic v);
+  void park(std::uint32_t net);
+  void flush_parks();
+  [[nodiscard]] bool record_before(const SchedRecord& a,
+                                   const SchedRecord& b) const;
+  [[nodiscard]] bool commit_ok(SimTime target, SimTime t_batch,
+                               SimTime t_end) const;
+  [[nodiscard]] bool cohort_feeds_driver(std::uint32_t net) const;
+  void sync_nets();
+
+  template <typename T>
+  void push_counted(std::vector<T>& vec, const T& v) {
+    if (vec.size() == vec.capacity()) ++allocations_;
+    vec.push_back(v);
+  }
+
+  Simulator* sim_ = nullptr;
+  std::uint64_t topology_version_ = 0;
+  std::uint64_t listener_version_ = 0;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint32_t epoch_ = 0;
+  // Earliest time any DFF scheduled from this batch can commit its Q: the
+  // commit horizon T + min(t_clk_to_q). Committing only below it guarantees
+  // no Q root ever lands below an already-committed transition, which is
+  // what makes eager in-sweep commits uncancellable (see lower.cpp). The
+  // horizon only binds batches that can actually create a Q park — those
+  // whose root cone reaches a flop pin (cp_cone_ / d_cone_ + hold_guard_);
+  // all other batches commit entire cascades bounded only by the next root.
+  SimTime min_clk_to_q_ = 0;
+  bool has_dffs_ = false;
+  bool tight_batch_ = false;  // current batch runs under the clk-to-q horizon
+  // Latest (clock edge + t_hold) over all flops: until this instant a D-pin
+  // transition can still raise a hold violation, i.e. park a Q.
+  SimTime hold_guard_ = 0;
+
+  std::vector<NetState> nets_;
+  std::vector<Element> elements_;
+  // Dirty-mark side array, (epoch << 32) | level per element: fanout marking
+  // in commit_transition touches one dense word instead of the full Element.
+  std::vector<std::uint64_t> mark_;
+  std::vector<std::uint32_t> input_pool_;   // element input net ids
+  std::vector<std::uint32_t> input_lidx_;   // listener index per input pin
+  std::vector<std::uint32_t> fanout_pool_;  // net -> consuming element ids
+  std::vector<std::uint8_t> cp_cone_;  // net reaches a flop CP pin (comb)
+  std::vector<std::uint8_t> d_cone_;   // net reaches a flop D pin (comb)
+  std::vector<std::uint32_t> park_ids_;     // parks staged this batch
+  std::vector<std::uint32_t> cohort_nets_;  // root nets popped this batch
+  std::vector<std::vector<std::uint32_t>> dirty_;  // per-level worklists
+  std::uint32_t dirty_lo_ = 0;  // occupied level range of dirty_ this batch
+  std::uint32_t dirty_hi_ = 0;  // (lo > hi when empty)
+  std::vector<std::uint32_t> sync_ids_;
+  std::vector<Logic> scratch_;          // merged input values per element
+  std::vector<Logic> generic_scratch_;  // exact-size copy for kGeneric eval
+  std::vector<std::uint32_t> cursor_;   // per-input wave cursors
+  std::priority_queue<Root, std::vector<Root>, RootAfter> queue_;
+
+  std::uint64_t events_ = 0;
+  std::uint64_t gate_evals_ = 0;
+  std::uint64_t allocations_ = 0;
+  LowerStats stats_;
+};
+
+}  // namespace psnt::sim

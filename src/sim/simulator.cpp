@@ -10,6 +10,8 @@ Net& Simulator::net(std::string_view name) {
   nets_.push_back(
       std::make_unique<Net>(std::string(name),
                             static_cast<std::uint32_t>(nets_.size())));
+  nets_.back()->bind_listener_tick(&listener_version_);
+  ++topology_version_;
   return *nets_.back();
 }
 

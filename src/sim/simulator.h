@@ -52,13 +52,38 @@ class Simulator {
   Net& net(std::string_view name);
   [[nodiscard]] Net* find_net(std::string_view name);
   [[nodiscard]] std::size_t net_count() const { return nets_.size(); }
+  [[nodiscard]] Net& net_at(std::size_t index) { return *nets_.at(index); }
+  [[nodiscard]] const Net& net_at(std::size_t index) const {
+    return *nets_.at(index);
+  }
 
   template <typename T, typename... Args>
   T& add(Args&&... args) {
     auto component = std::make_unique<T>(*this, std::forward<Args>(args)...);
     T& ref = *component;
     components_.push_back(std::move(component));
+    ++topology_version_;
     return ref;
+  }
+
+  // Netlist introspection for the lowering pass (sim/lower).
+  [[nodiscard]] const std::vector<std::unique_ptr<Component>>& components()
+      const {
+    return components_;
+  }
+
+  // Bumped whenever the netlist changes shape (a net or component is added).
+  // A compiled kernel records the version it was lowered from; a mismatch
+  // means the kernel is stale and the event-driven path must be used.
+  [[nodiscard]] std::uint64_t topology_version() const {
+    return topology_version_;
+  }
+
+  // Bumped whenever any net gains a listener. Together with
+  // topology_version this lets a compiled kernel detect a post-compile
+  // probe subscription in O(1) (it would be starved by compiled sweeps).
+  [[nodiscard]] std::uint64_t listener_version() const {
+    return listener_version_;
   }
 
   [[nodiscard]] Scheduler& scheduler() { return scheduler_; }
@@ -84,6 +109,8 @@ class Simulator {
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Net>> nets_;
   std::vector<std::unique_ptr<Component>> components_;
+  std::uint64_t topology_version_ = 0;
+  std::uint64_t listener_version_ = 0;
   bool instrumentation_enabled_ = true;
 };
 

@@ -1,0 +1,494 @@
+// Conformance suite for the netlist lowering pass (sim/lower): the compiled
+// kernel must be bit-identical to the event-driven scheduler on every netlist
+// it accepts, and must refuse every netlist it cannot prove equivalent.
+//
+// The core harness is a twin-simulator rig: the same builder elaborates two
+// Simulator instances (identical net ids), one runs event-driven as the
+// oracle, the other is lowered; identical stimuli are applied to both and
+// every net is compared at every checkpoint.
+#include "sim/lower.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "analog/flipflop_model.h"
+#include "analog/rail.h"
+#include "analog/supply_delay_model.h"
+#include "calib/fit.h"
+#include "core/full_system.h"
+#include "sim/dff.h"
+#include "sim/gates.h"
+#include "sim/supply_inverter.h"
+#include <cmath>
+
+namespace psnt::sim {
+namespace {
+
+using namespace psnt::literals;
+
+struct Twin {
+  Simulator event;     // oracle
+  Simulator compiled;  // lowered after settle
+  std::unique_ptr<CompiledKernel> kernel;
+
+  // Elaborates both simulators via the same builder. The builder must be
+  // deterministic so the two netlists have identical net ids.
+  void build(const std::function<void(Simulator&)>& builder) {
+    builder(event);
+    builder(compiled);
+    ASSERT_EQ(event.net_count(), compiled.net_count());
+  }
+
+  void drive_both(std::size_t net_id, Picoseconds at, Logic v) {
+    event.drive(event.net_at(net_id), at, v);
+    kernel->drive(compiled.net_at(net_id), at, v);
+  }
+
+  // Settles both sims (initial drives applied by the builder) and lowers the
+  // compiled twin. Call between build() and the stimulus phase.
+  void settle_and_compile() {
+    event.run_all();
+    compiled.run_all();
+    kernel = CompiledKernel::compile(compiled);
+    ASSERT_NE(kernel, nullptr) << "lowering refused a loweable netlist";
+  }
+
+  void check_all_nets(Picoseconds t, const char* context) {
+    event.run_until(t);
+    kernel->run_until(t);
+    for (std::size_t i = 0; i < event.net_count(); ++i) {
+      const Net& e = event.net_at(i);
+      const Net& c = compiled.net_at(i);
+      ASSERT_EQ(e.value(), c.value())
+          << context << ": net '" << e.name() << "' diverged at t=" << t;
+      ASSERT_EQ(e.last_change(), c.last_change())
+          << context << ": net '" << e.name() << "' last_change diverged at t="
+          << t;
+    }
+  }
+};
+
+// Random DAG of stock gates and flops clocked from a shared clk input.
+// Returns the primary-input net ids (clk is inputs.front()).
+std::vector<std::size_t> build_random_netlist(Simulator& sim,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  auto pick = [&](std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(rng);
+  };
+  std::vector<std::size_t> input_ids;
+  std::vector<Net*> pool;  // nets usable as gate inputs
+
+  Net& clk = sim.net("clk");
+  input_ids.push_back(clk.id());
+  const std::size_t n_inputs = 3 + pick(3);  // 3..5 data inputs
+  for (std::size_t i = 0; i < n_inputs; ++i) {
+    Net& in = sim.net("in" + std::to_string(i));
+    input_ids.push_back(in.id());
+    pool.push_back(&in);
+  }
+
+  const std::size_t n_gates = 20 + pick(20);
+  for (std::size_t g = 0; g < n_gates; ++g) {
+    const std::string id = std::to_string(g);
+    Net& y = sim.net("y" + id);
+    // Random per-instance delays keep arrival times heterogeneous, which is
+    // what exercises the kernel's wave merging and inertial cancellation.
+    const Picoseconds d{3.0 + static_cast<double>(pick(40))};
+    Net& a = *pool[pick(pool.size())];
+    Net& b = *pool[pick(pool.size())];
+    switch (pick(8)) {
+      case 0: sim.add<InvGate>("g" + id, a, y, d); break;
+      case 1: sim.add<BufGate>("g" + id, a, y, d); break;
+      case 2: sim.add<Nand2Gate>("g" + id, a, b, y, d); break;
+      case 3: sim.add<Nor2Gate>("g" + id, a, b, y, d); break;
+      case 4: sim.add<And2Gate>("g" + id, a, b, y, d); break;
+      case 5: sim.add<Xor2Gate>("g" + id, a, b, y, d); break;
+      case 6: {
+        Net& s = *pool[pick(pool.size())];
+        sim.add<Mux2Gate>("g" + id, a, b, s, y, d);
+        break;
+      }
+      default: sim.add<Or2Gate>("g" + id, a, b, y, d); break;
+    }
+    pool.push_back(&y);
+  }
+
+  const std::size_t n_ffs = 2 + pick(3);
+  for (std::size_t f = 0; f < n_ffs; ++f) {
+    Net& q = sim.net("q" + std::to_string(f));
+    sim.add<DFlipFlop>("ff" + std::to_string(f), *pool[pick(pool.size())],
+                       clk, q, analog::FlipFlopTimingModel{});
+    pool.push_back(&q);  // state feeds back into downstream logic
+  }
+  // A little post-FF logic so Q transitions cascade combinationally.
+  Net& tail = sim.net("tail");
+  sim.add<Xor2Gate>("gtail", *pool[pool.size() - 1], *pool[pool.size() - 2],
+                    tail, Picoseconds{7.0});
+
+  // Power-on: drive everything known at t=0 so the settle is deterministic.
+  for (const std::size_t id : input_ids) {
+    sim.drive(sim.net_at(id), 0.0_ps, Logic::L0);
+  }
+  return input_ids;
+}
+
+TEST(CompileLowering, RandomNetlistsMatchEventDrivenBitForBit) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Twin twin;
+    std::vector<std::size_t> inputs;
+    twin.build([&](Simulator& sim) {
+      auto ids = build_random_netlist(sim, seed);
+      if (inputs.empty()) inputs = ids;
+    });
+    twin.settle_and_compile();
+
+    // Random stimulus: jittered clock plus data edges, checkpointing after
+    // every burst. Time marches strictly forward.
+    std::mt19937_64 rng(seed * 7919 + 1);
+    auto pick = [&](std::uint64_t n) {
+      return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(rng);
+    };
+    double t = 2000.0;
+    for (int burst = 0; burst < 30; ++burst) {
+      const std::size_t n_edges = 1 + pick(4);
+      for (std::size_t k = 0; k < n_edges; ++k) {
+        t += 1.0 + static_cast<double>(pick(300));
+        const std::size_t which = pick(inputs.size());
+        const Logic v = pick(2) == 0 ? Logic::L0 : Logic::L1;
+        twin.drive_both(inputs[which], Picoseconds{t}, v);
+      }
+      t += 600.0;  // long enough for every cascade to drain
+      twin.check_all_nets(Picoseconds{t},
+                          ("seed " + std::to_string(seed)).c_str());
+    }
+    EXPECT_GT(twin.kernel->gate_evals(), 0u);
+  }
+}
+
+TEST(CompileLowering, XPropagatesFromUndrivenInputs) {
+  Twin twin;
+  std::vector<std::size_t> ids;
+  twin.build([&](Simulator& sim) {
+    Net& clk = sim.net("clk");
+    Net& d = sim.net("d");  // never driven: stays X
+    Net& q = sim.net("q");
+    Net& y = sim.net("y");
+    sim.add<DFlipFlop>("ff", d, clk, q, analog::FlipFlopTimingModel{});
+    sim.add<InvGate>("g1", q, y, 5.0_ps);
+    sim.drive(clk, 0.0_ps, Logic::L0);
+    if (ids.empty()) ids = {clk.id(), q.id(), y.id()};
+  });
+  twin.settle_and_compile();
+
+  // Clock through an X data input: Q must go X, the inverter keeps it X.
+  twin.drive_both(ids[0], 1000.0_ps, Logic::L1);
+  twin.drive_both(ids[0], 2000.0_ps, Logic::L0);
+  twin.check_all_nets(3000.0_ps, "x-prop");
+  EXPECT_EQ(twin.compiled.net_at(ids[1]).value(), Logic::X);
+  EXPECT_EQ(twin.compiled.net_at(ids[2]).value(), Logic::X);
+}
+
+// Sweeps the D arrival across the sampling edge: clean capture, metastable
+// band (degraded clk-to-q), setup violation (old value retained), plus a hold
+// violation. The compiled kernel must reproduce the exact outcome *and* the
+// exact Q transition time in every region.
+TEST(CompileLowering, DffEdgeOrderingAcrossSetupHoldWindows) {
+  const analog::FlipFlopParams params{};  // setup 35ps, hold 10ps, w 10ps
+  for (double d_lead = 60.0; d_lead >= -20.0; d_lead -= 2.5) {
+    Twin twin;
+    std::vector<std::size_t> ids;
+    twin.build([&](Simulator& sim) {
+      Net& d = sim.net("d");
+      Net& clk = sim.net("clk");
+      Net& q = sim.net("q");
+      sim.add<DFlipFlop>("ff", d, clk, q,
+                         analog::FlipFlopTimingModel{params});
+      sim.drive(d, 0.0_ps, Logic::L0);
+      sim.drive(clk, 0.0_ps, Logic::L0);
+      if (ids.empty()) ids = {d.id(), clk.id(), q.id()};
+    });
+    twin.settle_and_compile();
+
+    const double edge = 5000.0;
+    // D rises d_lead ps before the edge (negative: after the edge → hold
+    // territory when inside the window).
+    twin.drive_both(ids[0], Picoseconds{edge - d_lead}, Logic::L1);
+    twin.drive_both(ids[1], Picoseconds{edge}, Logic::L1);
+    twin.check_all_nets(Picoseconds{edge + 1000.0},
+                        ("d_lead=" + std::to_string(d_lead)).c_str());
+  }
+}
+
+TEST(CompileLowering, RefusesNonQuiescentScheduler) {
+  Simulator sim;
+  Net& a = sim.net("a");
+  Net& y = sim.net("y");
+  sim.add<InvGate>("g", a, y, 10.0_ps);
+  sim.drive(a, 100.0_ps, Logic::L1);  // in flight
+  EXPECT_EQ(CompiledKernel::compile(sim), nullptr);
+  sim.run_all();
+  EXPECT_NE(CompiledKernel::compile(sim), nullptr);
+}
+
+TEST(CompileLowering, RefusesExternalListeners) {
+  Simulator sim;
+  Net& a = sim.net("a");
+  Net& y = sim.net("y");
+  sim.add<InvGate>("g", a, y, 10.0_ps);
+  y.on_change([](const Net&, Logic, Logic, SimTime) {});  // a probe
+  EXPECT_EQ(CompiledKernel::compile(sim), nullptr);
+}
+
+TEST(CompileLowering, RefusesCombinationalCycles) {
+  Simulator sim;
+  Net& a = sim.net("a");
+  Net& b = sim.net("b");
+  sim.add<InvGate>("g0", a, b, 10.0_ps);
+  sim.add<InvGate>("g1", b, a, 10.0_ps);  // ring oscillator
+  EXPECT_EQ(CompiledKernel::compile(sim), nullptr);
+}
+
+TEST(CompileLowering, RefusesMultiDrivenNets) {
+  Simulator sim;
+  Net& a = sim.net("a");
+  Net& b = sim.net("b");
+  Net& y = sim.net("y");
+  sim.add<InvGate>("g0", a, y, 10.0_ps);
+  sim.add<InvGate>("g1", b, y, 12.0_ps);
+  EXPECT_EQ(CompiledKernel::compile(sim), nullptr);
+}
+
+TEST(CompileLowering, StaleTopologyIsDetectable) {
+  Simulator sim;
+  Net& a = sim.net("a");
+  Net& y = sim.net("y");
+  sim.add<InvGate>("g", a, y, 10.0_ps);
+  auto kernel = CompiledKernel::compile(sim);
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->topology_version(), sim.topology_version());
+  Net& z = sim.net("z");
+  sim.add<InvGate>("g2", y, z, 10.0_ps);
+  EXPECT_NE(kernel->topology_version(), sim.topology_version());
+}
+
+TEST(CompileLowering, SupplyInverterDelayTracksRail) {
+  // A time-varying rail: the kernel evaluates the supply-sensitive delay at
+  // the input arrival time, exactly like the event-driven component.
+  analog::CallbackRail vdd{[](Picoseconds t) {
+    return Volt{1.0 - 0.08 * std::sin(t.value() / 700.0)};
+  }};
+  Twin twin;
+  std::vector<std::size_t> ids;
+  twin.build([&](Simulator& sim) {
+    Net& a = sim.net("a");
+    Net& pre = sim.net("pre");
+    Net& y = sim.net("y");
+    sim.add<BufGate>("g0", a, pre, 9.0_ps);
+    sim.add<SupplyInverter>("si", pre, y, analog::AlphaPowerDelayModel{},
+                            analog::RailPair{&vdd, nullptr}, 2.0_pF);
+    sim.drive(a, 0.0_ps, Logic::L1);  // DS settles low
+    if (ids.empty()) ids = {a.id(), y.id()};
+  });
+  twin.settle_and_compile();
+  ASSERT_EQ(twin.kernel->stats().supply_inverters, 1u);
+
+  double t = 1000.0;
+  for (int i = 0; i < 40; ++i) {
+    const Logic v = (i % 2 == 0) ? Logic::L0 : Logic::L1;
+    twin.drive_both(ids[0], Picoseconds{t}, v);
+    t += 431.0;  // long enough for the (slow) sense edge to land
+    twin.check_all_nets(Picoseconds{t}, "supply-inverter");
+  }
+}
+
+TEST(CompileLowering, GlitchSuppressionMatches) {
+  // A pulse shorter than the gate delay must be swallowed identically.
+  Twin twin;
+  std::vector<std::size_t> ids;
+  twin.build([&](Simulator& sim) {
+    Net& a = sim.net("a");
+    Net& y = sim.net("y");
+    Net& z = sim.net("z");
+    sim.add<BufGate>("g0", a, y, 50.0_ps);
+    sim.add<InvGate>("g1", y, z, 30.0_ps);
+    sim.drive(a, 0.0_ps, Logic::L0);
+    if (ids.empty()) ids = {a.id(), y.id(), z.id()};
+  });
+  twin.settle_and_compile();
+
+  // 20ps pulse into a 50ps buffer: cancelled in flight.
+  twin.drive_both(ids[0], 1000.0_ps, Logic::L1);
+  twin.drive_both(ids[0], 1020.0_ps, Logic::L0);
+  twin.check_all_nets(1500.0_ps, "glitch");
+  EXPECT_EQ(twin.compiled.net_at(ids[1]).value(), Logic::L0);
+
+  // 80ps pulse: propagates, and the downstream inverter sees both edges.
+  twin.drive_both(ids[0], 2000.0_ps, Logic::L1);
+  twin.drive_both(ids[0], 2080.0_ps, Logic::L0);
+  twin.check_all_nets(2049.0_ps, "mid-pulse");  // y high, z not yet
+  twin.check_all_nets(2500.0_ps, "after-pulse");
+}
+
+// --- full-system conformance: the whole Fig. 6 netlist, compiled vs event --
+
+// In a PSNT_COMPILE=off build the kernel is compiled out and Compile::kAuto
+// quietly runs event-driven; the conformance tests then compare the event
+// path against itself (still a valid, if tautological, check) and the
+// kernel-specific guards are skipped.
+#if defined(PSNT_COMPILE_OFF)
+constexpr bool kKernelAvailable = false;
+#else
+constexpr bool kKernelAvailable = true;
+#endif
+
+core::FullStructuralSystem::Config system_config(
+    core::DelayCode code, core::FullStructuralSystem::Config::Compile mode) {
+  core::FullStructuralSystem::Config cfg;
+  cfg.code = code;
+  cfg.compile = mode;
+  return cfg;
+}
+
+TEST(CompileLowering, FullSystemCompiledMatchesEventDrivenOnAllCodes) {
+  // The complete sensor system (synthesized FSM + PG + MUX trees + sensor
+  // cells) measured through the compiled kernel must produce bit-identical
+  // words to the event-driven oracle for every Delay Code — the tap
+  // selection runs through the live code register in both modes.
+  const auto& model = psnt::calib::calibrated().model;
+  const analog::ConstantRail vdd{0.97_V};
+  for (std::uint8_t c = 0; c < 8; ++c) {
+    const core::DelayCode code{c};
+    Simulator sim_evt;
+    Simulator sim_cmp;
+    const auto array = psnt::calib::make_paper_array(model);
+    const core::PulseGenerator pg{model.pg_config()};
+    core::FullStructuralSystem event_sys(
+        sim_evt, "sys", array, pg, analog::RailPair{&vdd, nullptr},
+        system_config(code,
+                      core::FullStructuralSystem::Config::Compile::kOff));
+    core::FullStructuralSystem compiled_sys(
+        sim_cmp, "sys", array, pg, analog::RailPair{&vdd, nullptr},
+        system_config(code,
+                      core::FullStructuralSystem::Config::Compile::kAuto));
+    ASSERT_FALSE(event_sys.compiled());
+    ASSERT_EQ(compiled_sys.compiled(), kKernelAvailable)
+        << "lowering refused the full system netlist (code " << int(c) << ")";
+
+    const auto expected = event_sys.run_measures(3);
+    const auto actual = compiled_sys.run_measures(3);
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(actual[k].to_string(), expected[k].to_string())
+          << "code " << int(c) << " word " << k;
+    }
+    // The mirrored net state must agree too, not just the read-out bits.
+    for (std::size_t i = 0; i < sim_evt.net_count(); ++i) {
+      ASSERT_EQ(sim_cmp.net_at(i).value(), sim_evt.net_at(i).value())
+          << "code " << int(c) << " net '" << sim_evt.net_at(i).name() << "'";
+    }
+  }
+}
+
+TEST(CompileLowering, FullSystemRetargetsCodeThroughLiveSelects) {
+  // set_code reloads the code register through INIT; the MUX selects follow
+  // and the compiled and event-driven systems stay in lockstep.
+  const auto& model = psnt::calib::calibrated().model;
+  const analog::ConstantRail vdd{0.97_V};
+  Simulator sim_evt;
+  Simulator sim_cmp;
+  const auto array = psnt::calib::make_paper_array(model);
+  const core::PulseGenerator pg{model.pg_config()};
+  core::FullStructuralSystem event_sys(
+      sim_evt, "sys", array, pg, analog::RailPair{&vdd, nullptr},
+      system_config(core::DelayCode{3},
+                    core::FullStructuralSystem::Config::Compile::kOff));
+  core::FullStructuralSystem compiled_sys(
+      sim_cmp, "sys", array, pg, analog::RailPair{&vdd, nullptr},
+      system_config(core::DelayCode{3},
+                    core::FullStructuralSystem::Config::Compile::kAuto));
+  ASSERT_EQ(compiled_sys.compiled(), kKernelAvailable);
+
+  // First batch loads the construction code through INIT; later batches
+  // reconfigure only when set_code changes it.
+  (void)event_sys.run_measures(1);
+  (void)compiled_sys.run_measures(1);
+
+  for (const std::uint8_t c : {3, 5, 2, 7, 0}) {
+    event_sys.set_code(core::DelayCode{c});
+    compiled_sys.set_code(core::DelayCode{c});
+    const auto expected = event_sys.run_measures(2, /*configure_first=*/false);
+    const auto actual = compiled_sys.run_measures(2, /*configure_first=*/false);
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(actual[k].to_string(), expected[k].to_string())
+          << "code " << int(c) << " word " << k;
+    }
+    EXPECT_EQ(event_sys.fsm().decoded_code(), core::DelayCode{c});
+    EXPECT_EQ(compiled_sys.fsm().decoded_code(), core::DelayCode{c});
+  }
+}
+
+TEST(CompileLowering, FullSystemFallsBackWhenMutatedBeforeFirstRun) {
+  // Topology growth between compile and the first measure quietly reverts
+  // to the event-driven path; growth after compiled measures began is a
+  // hard error (the two worlds have diverged).
+  if (!kKernelAvailable) GTEST_SKIP() << "built with PSNT_COMPILE=off";
+  const auto& model = psnt::calib::calibrated().model;
+  const analog::ConstantRail vdd{1.0_V};
+  const auto array = psnt::calib::make_paper_array(model);
+  const core::PulseGenerator pg{model.pg_config()};
+  {
+    Simulator sim;
+    core::FullStructuralSystem sys(
+        sim, "sys", array, pg, analog::RailPair{&vdd, nullptr},
+        system_config(core::DelayCode{3},
+                      core::FullStructuralSystem::Config::Compile::kAuto));
+    ASSERT_TRUE(sys.compiled());
+    sim.net("foreign");  // bump topology before any compiled run
+    const auto words = sys.run_measures(1);
+    EXPECT_FALSE(sys.compiled()) << "stale kernel must be dropped";
+    EXPECT_EQ(words[0].to_string(), "0011111");  // Fig. 9 word still correct
+  }
+  {
+    Simulator sim;
+    core::FullStructuralSystem sys(
+        sim, "sys", array, pg, analog::RailPair{&vdd, nullptr},
+        system_config(core::DelayCode{3},
+                      core::FullStructuralSystem::Config::Compile::kAuto));
+    (void)sys.run_measures(1);
+    ASSERT_TRUE(sys.compiled());
+    sim.net("late");  // mutate after compiled measures began
+    EXPECT_THROW((void)sys.run_measures(1), std::logic_error);
+  }
+}
+
+TEST(CompileLowering, FullSystemFallsBackWhenProbeAttachedAfterCompile) {
+  // A listener subscribed after lowering would be silently starved by the
+  // compiled sweeps; the system detects it and reverts to event-driven so
+  // the probe observes every transition.
+  if (!kKernelAvailable) GTEST_SKIP() << "built with PSNT_COMPILE=off";
+  const auto& model = psnt::calib::calibrated().model;
+  const analog::ConstantRail vdd{1.0_V};
+  const auto array = psnt::calib::make_paper_array(model);
+  const core::PulseGenerator pg{model.pg_config()};
+  Simulator sim;
+  core::FullStructuralSystem sys(
+      sim, "sys", array, pg, analog::RailPair{&vdd, nullptr},
+      system_config(core::DelayCode{3},
+                    core::FullStructuralSystem::Config::Compile::kAuto));
+  ASSERT_TRUE(sys.compiled());
+  std::size_t transitions = 0;
+  sys.sensor().cp->on_change(
+      [&](const Net&, Logic, Logic, SimTime) { ++transitions; });
+  const auto words = sys.run_measures(1);
+  EXPECT_FALSE(sys.compiled());
+  EXPECT_GT(transitions, 0u) << "the probe must see the CP edges";
+  EXPECT_EQ(words[0].to_string(), "0011111");
+}
+
+}  // namespace
+}  // namespace psnt::sim

@@ -218,14 +218,15 @@ TEST(MeasureEngineCapabilities, BehavioralSupportsTrimAndVoting) {
       << "a per-request override must not disturb the policy code";
 }
 
-TEST(MeasureEngineCapabilities, StructuralIsBatchFixedCodeSingleVote) {
+TEST(MeasureEngineCapabilities, StructuralIsBatchSingleVoteWithLiveTrim) {
   const auto& model = calib::calibrated().model;
   const analog::ConstantRail vdd{1.0_V};
   auto engine = make_structural_engine(
       calib::make_paper_array(model), PulseGenerator{model.pg_config()},
       {&vdd, nullptr}, ThermometerConfig{}.control_period, {});
   EXPECT_TRUE(engine->prefers_batch());
-  EXPECT_FALSE(engine->supports_code_trim());
+  EXPECT_TRUE(engine->supports_code_trim())
+      << "the MUX selects follow the FSM code register live";
   EXPECT_FALSE(engine->supports_voting());
 
   std::vector<Measurement> batch;
@@ -235,13 +236,14 @@ TEST(MeasureEngineCapabilities, StructuralIsBatchFixedCodeSingleVote) {
   EXPECT_EQ(engine->take_batch_stats().sim_events, 0u)
       << "take_batch_stats drains the window";
 
-  EXPECT_THROW(
-      make_structural_engine(
-          calib::make_paper_array(model), PulseGenerator{model.pg_config()},
-          {&vdd, nullptr}, ThermometerConfig{}.control_period,
-          EngineSiteOptions{{DelayCode{3}, std::nullopt, true, {}}, false}),
-      std::logic_error)
-      << "auto-range needs per-transaction trim; the netlist has none";
+  // Auto-ranged structural sites stay per-sample so the policy observes
+  // every word before the next PREPARE — same contract as behavioral.
+  auto auto_engine = make_structural_engine(
+      calib::make_paper_array(model), PulseGenerator{model.pg_config()},
+      {&vdd, nullptr}, ThermometerConfig{}.control_period,
+      EngineSiteOptions{{DelayCode{3}, std::nullopt, true, {}}, false});
+  EXPECT_TRUE(auto_engine->context().auto_ranging());
+  EXPECT_FALSE(auto_engine->prefers_batch());
 }
 
 TEST(MeasureEngineCapabilities, BehavioralHandleMatchesNoiseThermometer) {
@@ -287,6 +289,40 @@ TEST(MeasureEngineContext, ObserveDrivesAutoRangeAndCountsSteps) {
   EXPECT_GT(ctx.code_steps(), 0u)
       << "persistent overflow must force a range step";
   EXPECT_EQ(ctx.current_code(), code);
+}
+
+TEST(MeasureEngineCapabilities, StructuralAutoRangeConvergesLikeBehavioral) {
+  // The same closed loop — measure, encode, observe — over identical rails
+  // must walk both backends through the same code sequence: the structural
+  // engine now resolves its code per measure and retargets the PG tap
+  // through the live MUX selects.
+  const auto& model = calib::calibrated().model;
+  const analog::ConstantRail vdd{0.84_V};  // saturates the initial code
+  EngineSiteOptions options;
+  options.code_policy.auto_range = true;
+
+  auto behavioral = make_behavioral_engine(calib::make_paper_engine(model),
+                                           {&vdd, nullptr}, options);
+  auto structural = make_structural_engine(
+      calib::make_paper_array(model), PulseGenerator{model.pg_config()},
+      {&vdd, nullptr}, ThermometerConfig{}.control_period, options);
+
+  for (std::size_t k = 0; k < 12; ++k) {
+    MeasureRequest req;
+    req.start = Picoseconds{static_cast<double>(k) * 10000.0};
+    const auto mb = behavioral->measure(req);
+    behavioral->context().observe(behavioral->encode(mb.word),
+                                  mb.word.width());
+    const auto ms = structural->measure(req);
+    structural->context().observe(structural->encode(ms.word),
+                                  ms.word.width());
+    EXPECT_EQ(ms.code, mb.code) << "trim sequences diverged at sample " << k;
+    EXPECT_EQ(ms.word, mb.word) << "words diverged at sample " << k;
+  }
+  EXPECT_GT(structural->context().code_steps(), 0u)
+      << "the rail must actually force a range step";
+  EXPECT_EQ(structural->context().current_code(),
+            behavioral->context().current_code());
 }
 
 }  // namespace

@@ -239,19 +239,83 @@ TEST(ScanGrid, StructuralSitesSurviveMultipleBatches) {
   EXPECT_GT(grid.telemetry().counter("grid.structural_ns").value(), 0u);
 }
 
+TEST(ScanGrid, StructuralAutoRangeMatchesBehavioralAutoRange) {
+  // Auto-range now runs at gate level: the structural sites resolve each
+  // measure's code from the context policy and retarget the PG tap through
+  // the live MUX selects. On identical rails the trim sequence — and hence
+  // every word and code — must match the behavioral sites sample for
+  // sample.
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
+  auto config = base_config(2);
+  config.code_policy = CodePolicy::kAutoRange;
+  config.samples_per_site = 10;
+  ScanGrid behavioral{fp, config, ScanGrid::constant_rails(0.84_V)};
+  auto structural_config = config;
+  structural_config.fidelity = SiteFidelity::kStructural;
+  ScanGrid structural{fp, structural_config,
+                      ScanGrid::constant_rails(0.84_V)};
+  const auto b = behavioral.run();
+  const auto s = structural.run();
+  bool stepped = false;
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t k = 0; k < 10; ++k) {
+      EXPECT_EQ(s.sites[i].samples[k].word, b.sites[i].samples[k].word)
+          << "site " << i << " sample " << k;
+      EXPECT_EQ(s.sites[i].samples[k].code, b.sites[i].samples[k].code)
+          << "site " << i << " sample " << k;
+      stepped |= s.sites[i].samples[k].code != config.code;
+    }
+  }
+  EXPECT_TRUE(stepped) << "the sagged rail must force a real range step";
+}
+
+TEST(ScanGrid, StructuralCompiledMatchesEventDrivenAcrossThreads) {
+  // The compiled kernel is the structural default; the event-driven
+  // scheduler stays the oracle. Pin one grid to the oracle through an
+  // engine factory and require bit-identity from compiled grids at 1, 2
+  // and 8 threads.
+  const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 2, 2);
+  auto config = base_config(1);
+  config.fidelity = SiteFidelity::kStructural;
+  config.samples_per_site = 4;
+
+  auto oracle_config = config;
+  oracle_config.engine_factory = [](std::uint32_t,
+                                    const analog::RailPair& rails,
+                                    const core::EngineSiteOptions& options) {
+    const auto& model = calib::calibrated().model;
+    auto event_options = options;
+    event_options.structural_compile = false;
+    return core::make_structural_engine(
+        calib::make_paper_array(model),
+        core::PulseGenerator{model.pg_config()}, rails,
+        core::ThermometerConfig{}.control_period, event_options);
+  };
+  ScanGrid oracle{fp, oracle_config, test_rails(fp)};
+  const auto expected = oracle.run();
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    auto compiled_config = config;
+    compiled_config.threads = threads;
+    ScanGrid compiled{fp, compiled_config, test_rails(fp)};
+    const auto actual = compiled.run();
+    ASSERT_EQ(actual.sites.size(), expected.sites.size());
+    for (std::size_t i = 0; i < expected.sites.size(); ++i) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        EXPECT_EQ(actual.sites[i].samples[k].word,
+                  expected.sites[i].samples[k].word)
+            << threads << " threads: site " << i << " sample " << k;
+      }
+    }
+  }
+}
+
 TEST(ScanGrid, RejectsInvalidConfigurations) {
   const auto fp = scan::Floorplan::grid(1000.0, 1000.0, 1, 2);
   auto config = base_config(1);
   config.samples_per_site = 0;
   EXPECT_THROW(
       (ScanGrid{fp, config, ScanGrid::constant_rails(1.0_V)}),
-      std::logic_error);
-
-  auto structural_autorange = base_config(1);
-  structural_autorange.fidelity = SiteFidelity::kStructural;
-  structural_autorange.code_policy = CodePolicy::kAutoRange;
-  EXPECT_THROW(
-      (ScanGrid{fp, structural_autorange, ScanGrid::constant_rails(1.0_V)}),
       std::logic_error);
 
   EXPECT_THROW((ScanGrid{fp, base_config(1), nullptr}), std::logic_error);
